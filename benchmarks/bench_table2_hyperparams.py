@@ -1,0 +1,75 @@
+"""Table 2 — one SDP training step at the paper's exact hyper-parameters.
+
+Instantiates the monolithic Algorithm-1 network with Table 2 verbatim:
+Vth=0.5, dc=0.5, dv=0.80, a1=9.0, a2=0.4, two hidden layers of 128,
+batch size 128, learning rate 1e-5, T=5 — and benchmarks a full
+forward/STBP-backward/update step.  (The full paper-profile training run
+is hours of pure-numpy compute; this bench proves the exact
+configuration executes and measures its per-step cost.)
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.agents import SDPAgent, PolicyTrainer, TrainConfig
+from repro.autograd.optim import SGD
+from repro.data import MarketGenerator
+from repro.envs import ObservationConfig
+from repro.experiments import PAPER_HYPERPARAMETERS
+from repro.utils import format_table
+
+
+def make_trainer():
+    data = MarketGenerator(seed=0).generate(
+        "2018/01/01", "2018/05/01", period_seconds=7200
+    ).select_assets(list(range(11)))
+    obs = ObservationConfig(window=8, stride=1)
+    agent = SDPAgent(
+        11,
+        observation=obs,
+        architecture="monolithic",
+        hidden_sizes=PAPER_HYPERPARAMETERS["hidden_sizes"],
+        timesteps=PAPER_HYPERPARAMETERS["timesteps"],
+        surrogate_amplifier=PAPER_HYPERPARAMETERS["surrogate_amplifier"],
+        surrogate_window=PAPER_HYPERPARAMETERS["surrogate_window"],
+        seed=0,
+    )
+    trainer = PolicyTrainer(
+        agent,
+        data,
+        SGD(agent.parameters(), PAPER_HYPERPARAMETERS["learning_rate"]),
+        observation=obs,
+        config=TrainConfig(
+            steps=1, batch_size=PAPER_HYPERPARAMETERS["batch_size"]
+        ),
+        seed=0,
+    )
+    return agent, trainer
+
+
+def test_table2_exact_training_step(benchmark):
+    agent, trainer = make_trainer()
+    stats = benchmark.pedantic(trainer.train_step, rounds=3, iterations=1)
+    assert np.isfinite(stats["loss"])
+
+    lif = agent.config.lif
+    rows = [
+        ("Neuron parameters (Vth, dc, dv)",
+         f"{lif.v_threshold}, {lif.current_decay}, {lif.voltage_decay}",
+         "0.5, 0.5, 0.80"),
+        ("Pseudo-gradient (a1, a2)",
+         f"{agent.config.surrogate_amplifier}, {agent.config.surrogate_window}",
+         "9.0, 0.4"),
+        ("Neurons per hidden layer",
+         str(agent.config.hidden_sizes), "(128, 128)"),
+        ("Batch size", str(trainer.config.batch_size), "128"),
+        ("Learning rate", f"{trainer.optimizer.lr:g}", "1e-5"),
+        ("Timesteps T", str(agent.config.timesteps), "5"),
+        ("Trainable parameters", str(agent.num_parameters()), "-"),
+        ("Last step loss", f"{stats['loss']:.6f}", "-"),
+    ]
+    record(
+        "table2_hyperparams",
+        format_table(["Parameter", "Configured", "Paper (Table 2)"], rows,
+                     title="Table 2 — SDP trains at the paper's exact settings"),
+    )

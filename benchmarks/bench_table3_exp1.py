@@ -1,0 +1,12 @@
+"""Table 3, experiment 1 (train 2016/08/01–2019/04/14, test →2019/08/01).
+
+Trains SDP and DRL[Jiang] on the experiment-1 window of the synthetic
+market, back-tests them against ONS / Best Stock / ANTICOR / M0 / UCRP,
+and prints the measured Table 3 block next to the paper's values.
+"""
+
+from _table3_common import run_table3_experiment
+
+
+def test_table3_experiment1(benchmark):
+    run_table3_experiment(1, benchmark)

@@ -1,0 +1,12 @@
+"""Table 3, experiment 2 (train 2017/08/01–2020/04/14, test →2020/08/01).
+
+The back-test window sits in the post-COVID-crash recovery; the paper
+reports SDP at 4.37× while DRL[Jiang] and the classical strategies hover
+near 1.0.
+"""
+
+from _table3_common import run_table3_experiment
+
+
+def test_table3_experiment2(benchmark):
+    run_table3_experiment(2, benchmark)

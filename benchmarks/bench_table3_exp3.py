@@ -1,0 +1,12 @@
+"""Table 3, experiment 3 (train 2018/08/01–2021/04/14, test →2021/08/01).
+
+The back-test window contains the May-2021 crash; the paper reports SDP
+at 2.01× with hindsight Best Stock far above every on-line method
+(8.38×) at more than twice the drawdown.
+"""
+
+from _table3_common import run_table3_experiment
+
+
+def test_table3_experiment3(benchmark):
+    run_table3_experiment(3, benchmark)

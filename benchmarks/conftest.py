@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench renders a paper-style table and records it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the measured
+numbers; stdout is also printed (visible with ``pytest -s``).
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a bench's rendered output and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,60 @@
+"""Compare every Table 3 strategy on one back-test window.
+
+Back-tests the two learned agents (SDP and the Jiang EIIE baseline) and
+all five classical on-line portfolio-selection strategies on the same
+hold-out window, printing the Table-3 metric triple plus companion
+statistics.
+
+Run:  python examples/strategy_comparison.py [experiment]
+"""
+
+import sys
+
+from repro.agents import run_backtest
+from repro.baselines import UBAH, table3_baselines
+from repro.experiments import (
+    build_experiment_data,
+    make_config,
+    train_drl_agent,
+    train_sdp_agent,
+)
+from repro.metrics import turnover
+from repro.utils import format_table
+
+
+def main(experiment: int = 1) -> None:
+    config = make_config(experiment, profile="quick", train_steps=120)
+    data = build_experiment_data(config)
+    print(f"Experiment {experiment}: back-test "
+          f"{config.window.test_start} -> {config.window.test_end} on "
+          f"{len(data.assets)} assets\n")
+
+    print("Training SDP (spiking, STBP)...")
+    sdp, _ = train_sdp_agent(config, data)
+    print("Training DRL[Jiang] (EIIE CNN)...")
+    drl, _ = train_drl_agent(config, data)
+
+    strategies = [sdp, drl] + table3_baselines() + [UBAH()]
+    rows = []
+    for strategy in strategies:
+        r = run_backtest(strategy, data.test, observation=config.observation,
+                         commission=config.commission)
+        m = r.metrics
+        rows.append((
+            strategy.name, f"{m.mdd:.3f}", f"{m.fapv:.3f}",
+            f"{m.sharpe:+.4f}", f"{m.sortino:+.3f}" if m.sortino != float("inf") else "inf",
+            f"{m.hit_rate:.3f}", f"{turnover(r.weights):.3f}",
+        ))
+    print(format_table(
+        ["Strategy", "MDD", "fAPV", "Sharpe", "Sortino", "HitRate", "Turnover"],
+        rows,
+        title="Table 3 metrics + companions (synthetic market)",
+    ))
+    print("\nNote: Best Stock is the hindsight single-asset upper bound; "
+          "ANTICOR bets on mean reversion and loses on momentum regimes, "
+          "matching its Table 3 behaviour.")
+
+
+if __name__ == "__main__":
+    exp = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    main(exp)

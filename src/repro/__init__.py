@@ -1,0 +1,42 @@
+"""repro — Spiking Deep Reinforcement Learning for Portfolio Management.
+
+A full reproduction of Saeidi, Fallah, Barmaki & Farbeh, "A Novel
+Neuromorphic Processors Realization of Spiking Deep Reinforcement
+Learning for Portfolio Management" (DATE 2022), including every
+substrate the paper depends on:
+
+* :mod:`repro.autograd` — numpy reverse-mode autodiff (no torch needed)
+* :mod:`repro.snn` — population coding, two-state LIF, STBP (Alg. 1)
+* :mod:`repro.data` — synthetic Poloniex-like crypto market, 2016–2021
+* :mod:`repro.envs` — the Jiang-framework PM environment (eq. (1))
+* :mod:`repro.agents` — the SDP agent + the DRL[Jiang] EIIE baseline
+* :mod:`repro.baselines` — ONS, Best Stock, ANTICOR, M0, UCRP, UBAH
+* :mod:`repro.loihi` — 8-bit quantization (eq. (14)), fixed-point chip
+  simulation, energy/latency device models (Table 4)
+* :mod:`repro.metrics` — fAPV, Sharpe, MDD (eqs. (15)–(17))
+* :mod:`repro.experiments` — end-to-end regeneration of Tables 3 & 4
+
+Quickstart::
+
+    from repro.experiments import make_config, run_experiment, render_table3
+    result = run_experiment(make_config(1, profile="quick"))
+    print(render_table3(result))
+"""
+
+__version__ = "1.0.0"
+
+from . import agents, autograd, baselines, data, envs, experiments, loihi, metrics, snn, utils
+
+__all__ = [
+    "__version__",
+    "agents",
+    "autograd",
+    "baselines",
+    "data",
+    "envs",
+    "experiments",
+    "loihi",
+    "metrics",
+    "snn",
+    "utils",
+]

@@ -1,0 +1,100 @@
+"""Agent interface and the shared back-test loop.
+
+Every policy — spiking, deep, or classical — is back-tested through the
+same :func:`run_backtest` loop over :class:`~repro.envs.PortfolioEnv`,
+so Table 3 comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.market import MarketData
+from ..envs.costs import DEFAULT_COMMISSION
+from ..envs.observations import ObservationConfig
+from ..envs.portfolio import PortfolioEnv
+from ..metrics import BacktestMetrics, evaluate_backtest
+
+
+class Agent(ABC):
+    """A policy mapping market history to portfolio weights."""
+
+    #: Human-readable name used in result tables.
+    name: str = "agent"
+
+    @abstractmethod
+    def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
+        """Portfolio weights (cash first) for decision index ``t``.
+
+        Implementations may look at panel data up to and including
+        period ``t`` only; ``w_prev`` is the previously chosen target
+        weight vector.
+        """
+
+    def begin_backtest(self, data: MarketData) -> None:
+        """Hook called once before a back-test starts (stateful agents)."""
+
+    @property
+    def action_noise(self) -> float:
+        """Optional exploration noise level (0 for deterministic)."""
+        return 0.0
+
+
+@dataclass
+class BacktestResult:
+    """Trajectory and metrics of one back-test run."""
+
+    agent_name: str
+    values: np.ndarray
+    weights: np.ndarray
+    rewards: np.ndarray
+    mus: np.ndarray
+    metrics: BacktestMetrics
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fapv(self) -> float:
+        return self.metrics.fapv
+
+    @property
+    def sharpe(self) -> float:
+        return self.metrics.sharpe
+
+    @property
+    def mdd(self) -> float:
+        return self.metrics.mdd
+
+
+def run_backtest(
+    agent: Agent,
+    data: MarketData,
+    observation: Optional[ObservationConfig] = None,
+    commission: float = DEFAULT_COMMISSION,
+    initial_value: float = 1.0,
+) -> BacktestResult:
+    """Back-test ``agent`` over ``data`` and compute Table 3 metrics."""
+    env = PortfolioEnv(
+        data,
+        observation=observation,
+        commission=commission,
+        initial_value=initial_value,
+    )
+    agent.begin_backtest(data)
+    done = False
+    while not done:
+        action = agent.act(data, env.t, env.previous_weights)
+        result = env.step(action)
+        done = result.done
+    metrics = evaluate_backtest(env.value_history, data.period_seconds)
+    return BacktestResult(
+        agent_name=agent.name,
+        values=np.asarray(env.value_history),
+        weights=np.asarray(env.weight_history),
+        rewards=np.asarray(env.reward_history),
+        mus=np.asarray(env.mu_history),
+        metrics=metrics,
+    )

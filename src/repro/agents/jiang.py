@@ -1,0 +1,142 @@
+"""The DRL[Jiang] baseline: the EIIE convolutional policy of
+Jiang, Xu & Liang (2017), "A Deep Reinforcement Learning Framework for
+the Financial Portfolio Management Problem".
+
+This is the method the paper compares against in Tables 3 and 4
+("One of the best methods is offered by [12]").  The network is the
+*Ensemble of Identical Independent Evaluators* CNN: per-asset feature
+extraction with width-spanning 1-D convolutions, the previous weights
+injected as an extra channel before the final scoring layer, a learned
+cash bias, and a softmax over N = M + 1 outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, concatenate
+from ..autograd import functional as F
+from ..autograd.nn import Conv2d, Module, Parameter
+from ..data.market import MarketData
+from ..envs.observations import ObservationConfig, price_tensor_batch
+from ..utils.rng import make_rng
+from .base import Agent
+
+
+class EIIENetwork(Module):
+    """The EIIE CNN topology.
+
+    Input: price tensor ``(B, F, A, W)`` — features × assets × window.
+    conv1 slides a (1, 3) kernel along the window; conv2 collapses the
+    remaining width with a (1, W−2) kernel; the previous weights (assets
+    only) join as a channel; conv3 scores each asset with a (1, 1)
+    kernel; a learned cash bias is appended and a softmax produces the
+    portfolio vector.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_assets: int,
+        window: int,
+        conv1_filters: int = 2,
+        conv2_filters: int = 20,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if window < 4:
+            raise ValueError(f"EIIE needs a window of at least 4, got {window}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_assets = num_assets
+        self.window = window
+        self.conv1 = Conv2d(num_features, conv1_filters, (1, 3), rng=rng)
+        self.conv2 = Conv2d(conv1_filters, conv2_filters, (1, window - 2), rng=rng)
+        self.conv3 = Conv2d(conv2_filters + 1, 1, (1, 1), rng=rng)
+        self.cash_bias = Parameter(np.zeros(1))
+
+    def forward(self, price_tensor: Tensor, w_prev_assets: Tensor) -> Tensor:
+        """Portfolio weights ``(B, A+1)`` from prices and w_{t−1}.
+
+        ``w_prev_assets`` excludes the cash component: shape (B, A).
+        """
+        x = self.conv1(price_tensor).relu()
+        x = self.conv2(x).relu()  # (B, C2, A, 1)
+        w = w_prev_assets.reshape(w_prev_assets.shape[0], 1, self.num_assets, 1)
+        x = concatenate([x, w], axis=1)  # previous-weight channel
+        scores = self.conv3(x)  # (B, 1, A, 1)
+        scores = scores.reshape(scores.shape[0], self.num_assets)
+        batch = scores.shape[0]
+        cash = self.cash_bias.reshape(1, 1) * Tensor(np.ones((batch, 1)))
+        logits = concatenate([cash, scores], axis=1)
+        return F.softmax(logits, axis=1)
+
+
+class JiangDRLAgent(Agent):
+    """Back-testable wrapper around :class:`EIIENetwork`.
+
+    Uses the same trainer/objective as the SDP agent; only the network
+    and the observation encoding differ.
+    """
+
+    name = "DRL[Jiang]"
+
+    def __init__(
+        self,
+        n_assets: int,
+        observation: Optional[ObservationConfig] = None,
+        conv1_filters: int = 2,
+        conv2_filters: int = 20,
+        seed: int = 0,
+    ):
+        if n_assets <= 0:
+            raise ValueError(f"n_assets must be positive, got {n_assets}")
+        self.n_assets = n_assets
+        self.observation = observation if observation is not None else ObservationConfig()
+        self.network = EIIENetwork(
+            num_features=self.observation.num_features,
+            num_assets=n_assets,
+            window=self.observation.window,
+            conv1_filters=conv1_filters,
+            conv2_filters=conv2_filters,
+            rng=make_rng(seed),
+        )
+
+    # ------------------------------------------------------------------
+    def parameters(self):
+        return self.network.parameters()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.network.parameters()))
+
+    # ------------------------------------------------------------------
+    def policy_forward(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> Tensor:
+        tensors = price_tensor_batch(data, indices, self.observation)
+        w_assets = Tensor(np.asarray(w_prev)[:, 1:])
+        return self.network(Tensor(tensors), w_assets)
+
+    def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
+        action = self.policy_forward(
+            data, np.array([t]), np.asarray(w_prev)[None, :]
+        )
+        return action.data[0]
+
+    # ------------------------------------------------------------------
+    def macs_per_inference(self) -> int:
+        """Multiply–accumulate count of one forward pass.
+
+        Feeds the Table 4 CPU/GPU device models.
+        """
+        f = self.observation.num_features
+        a = self.n_assets
+        w = self.observation.window
+        c1 = self.network.conv1.out_channels
+        c2 = self.network.conv2.out_channels
+        macs = 0
+        macs += (w - 2) * a * c1 * f * 3          # conv1
+        macs += 1 * a * c2 * c1 * (w - 2)         # conv2
+        macs += a * (c2 + 1)                      # conv3
+        return int(macs)

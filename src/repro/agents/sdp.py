@@ -1,0 +1,163 @@
+"""The SDP agent: the paper's primary contribution, wrapped for training
+and back-testing.
+
+Two architectures are provided:
+
+* ``"shared"`` (default) — :class:`~repro.snn.network.SharedSDPNetwork`:
+  one population-coded spiking scorer applied to every asset with
+  shared weights, plus a learned cash bias.  Algorithm 1's dynamics and
+  STBP training are unchanged; the sharing is what makes the policy
+  sample-efficient enough to train at reproduction scale (DESIGN.md §6).
+* ``"monolithic"`` — :class:`~repro.snn.network.SDPNetwork`: the
+  verbatim Algorithm 1 network over the full flat state.  Kept for the
+  architecture ablation bench and the paper-exact Table 2 configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.market import MarketData
+from ..envs.observations import (
+    ObservationConfig,
+    sdp_asset_features_batch,
+    sdp_state_batch,
+)
+from ..snn import (
+    ActivityRecord,
+    LIFParameters,
+    SDPConfig,
+    SDPNetwork,
+    SharedSDPConfig,
+    SharedSDPNetwork,
+)
+from ..utils.rng import make_rng
+from .base import Agent
+
+ARCHITECTURES = ("shared", "monolithic")
+
+
+class SDPAgent(Agent):
+    """Spiking Deterministic Policy agent.
+
+    Parameters
+    ----------
+    n_assets:
+        Number of traded assets M; the action dimension is M + 1.
+    observation:
+        Observation window/scaling (shared with the environment).
+    architecture:
+        ``"shared"`` (weight-shared per-asset scorer, default) or
+        ``"monolithic"`` (Algorithm 1 verbatim over the flat state).
+    hidden_sizes, timesteps, encoder_pop_size, decoder_pop_size, lif:
+        SDP network hyper-parameters (Table 2 defaults).
+    seed:
+        Network initialisation seed.
+    """
+
+    name = "SDP"
+
+    def __init__(
+        self,
+        n_assets: int,
+        observation: Optional[ObservationConfig] = None,
+        architecture: str = "shared",
+        hidden_sizes: Tuple[int, ...] = (128, 128),
+        timesteps: int = 5,
+        encoder_pop_size: int = 10,
+        decoder_pop_size: int = 10,
+        encoder_mode: str = "deterministic",
+        lif: Optional[LIFParameters] = None,
+        surrogate_amplifier: float = 9.0,
+        surrogate_window: float = 0.4,
+        seed: int = 0,
+    ):
+        if n_assets <= 0:
+            raise ValueError(f"n_assets must be positive, got {n_assets}")
+        if architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}"
+            )
+        self.n_assets = n_assets
+        self.architecture = architecture
+        self.observation = observation if observation is not None else ObservationConfig()
+        lif = lif if lif is not None else LIFParameters()
+
+        if architecture == "shared":
+            self.config = SharedSDPConfig(
+                feature_dim=self.observation.sdp_asset_feature_dim(),
+                hidden_sizes=tuple(hidden_sizes),
+                timesteps=timesteps,
+                encoder_pop_size=encoder_pop_size,
+                output_pop_size=decoder_pop_size,
+                encoder_mode=encoder_mode,
+                lif=lif,
+                surrogate_amplifier=surrogate_amplifier,
+                surrogate_window=surrogate_window,
+            )
+            self.network = SharedSDPNetwork(self.config, rng=make_rng(seed))
+        else:
+            self.config = SDPConfig(
+                state_dim=self.observation.sdp_state_dim(n_assets),
+                num_actions=n_assets + 1,
+                hidden_sizes=tuple(hidden_sizes),
+                timesteps=timesteps,
+                encoder_pop_size=encoder_pop_size,
+                decoder_pop_size=decoder_pop_size,
+                encoder_mode=encoder_mode,
+                state_range=(-1.0, 1.0),
+                lif=lif,
+                surrogate_amplifier=surrogate_amplifier,
+                surrogate_window=surrogate_window,
+            )
+            self.network = SDPNetwork(self.config, rng=make_rng(seed))
+
+    # ------------------------------------------------------------------
+    def parameters(self):
+        return self.network.parameters()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.network.parameters()))
+
+    # ------------------------------------------------------------------
+    def _states(self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray):
+        if self.architecture == "shared":
+            return sdp_asset_features_batch(data, indices, w_prev, self.observation)
+        return sdp_state_batch(data, indices, w_prev, self.observation)
+
+    def policy_forward(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> Tensor:
+        """Differentiable batched action computation for the trainer."""
+        return self.network.forward(self._states(data, indices, w_prev))
+
+    def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
+        states = self._states(
+            data, np.array([t]), np.asarray(w_prev)[None, :]
+        )
+        return self.network.forward(states).data[0]
+
+    # ------------------------------------------------------------------
+    def inference_activity(
+        self, data: MarketData, t: int, w_prev: np.ndarray,
+        timesteps: Optional[int] = None,
+    ) -> ActivityRecord:
+        """Spike/synop counts of one inference (Loihi energy model input)."""
+        states = self._states(data, np.array([t]), np.asarray(w_prev)[None, :])
+        _, activity = self.network.forward_with_activity(states, timesteps)
+        return activity
+
+    def dense_equivalent_macs(self) -> int:
+        """MAC count if the same topology ran as a dense ANN on CPU/GPU.
+
+        One multiply–accumulate per synapse per forward pass (the
+        conventional ANN cost the paper's CPU/GPU baselines pay), times
+        the T repeats an SNN needs; the shared architecture pays per
+        asset.
+        """
+        total = sum(i * o for i, o in self.network.layer_sizes())
+        repeats = self.n_assets if self.architecture == "shared" else 1
+        return total * self.config.timesteps * repeats

@@ -1,0 +1,198 @@
+"""Deterministic policy-gradient training loop (§II.C / eq. (1)).
+
+Both the SDP network and the Jiang EIIE baseline are trained the same
+way: the reward ``R = (1/t_f) Σ ln(μ_t · y_t · w_{t−1})`` is
+differentiable in the action, so minimising ``−R`` over minibatches of
+consecutive periods is direct policy optimisation — no critic, no
+return-to-go estimation.  Minibatch mechanics follow Jiang et al.:
+
+* batch starts drawn with geometric bias toward the present
+  (:class:`~repro.envs.sampling.GeometricBatchSampler`);
+* the previous-step weights entering the state and the cost term come
+  from the portfolio-vector memory
+  (:class:`~repro.envs.pvm.PortfolioVectorMemory`), which is rewritten
+  with the fresh policy outputs after every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.optim import Optimizer
+from ..data.market import MarketData
+from ..envs.costs import DEFAULT_COMMISSION, transaction_remainder_approx
+from ..envs.observations import ObservationConfig
+from ..envs.pvm import PortfolioVectorMemory
+from ..envs.sampling import DEFAULT_GEOMETRIC_BIAS, GeometricBatchSampler
+from ..utils.rng import make_rng
+
+
+class TrainablePolicy(Protocol):
+    """What the trainer needs from an agent."""
+
+    def policy_forward(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> Tensor:
+        """Batched differentiable action computation, shape (B, N)."""
+        ...
+
+    def parameters(self):  # noqa: D102 — autograd parameter list
+        ...
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training-loop hyper-parameters (defaults follow Table 2).
+
+    ``learning_rate`` defaults to the paper's 1e-5 ("10e-5" in Table 2
+    read as 10^-5); the experiment harness overrides it when it pairs
+    the loop with Adam, which tolerates larger steps.
+
+    ``permute_assets`` enables asset-permutation augmentation: each
+    minibatch sees the assets in a random order (states, previous
+    weights, price relatives, and the PVM write-back all permuted
+    consistently).  A policy trained this way must be permutation-
+    equivariant — it scores assets by their *behaviour* (momentum,
+    volatility) instead of memorising which column was the past
+    winner.  The EIIE baseline is equivariant by construction (shared
+    per-asset weights), so the augmentation levels the field for the
+    SDP's fully-connected network.
+    """
+
+    steps: int = 2000
+    batch_size: int = 128
+    commission: float = DEFAULT_COMMISSION
+    geometric_bias: float = DEFAULT_GEOMETRIC_BIAS
+    log_every: int = 100
+    permute_assets: bool = False
+
+    def __post_init__(self):
+        if self.steps <= 0 or self.batch_size <= 0:
+            raise ValueError("steps and batch_size must be positive")
+
+
+@dataclass
+class TrainHistory:
+    """Loss/reward trace of one training run."""
+
+    steps: List[int] = field(default_factory=list)
+    loss: List[float] = field(default_factory=list)
+    reward: List[float] = field(default_factory=list)
+
+    def record(self, step: int, loss: float, reward: float) -> None:
+        self.steps.append(step)
+        self.loss.append(loss)
+        self.reward.append(reward)
+
+
+class PolicyTrainer:
+    """Minibatch trainer shared by the SDP and EIIE agents."""
+
+    def __init__(
+        self,
+        policy: TrainablePolicy,
+        data: MarketData,
+        optimizer: Optimizer,
+        observation: Optional[ObservationConfig] = None,
+        config: Optional[TrainConfig] = None,
+        seed: int = 0,
+    ):
+        self.policy = policy
+        self.data = data
+        self.optimizer = optimizer
+        self.observation = observation if observation is not None else ObservationConfig()
+        self.config = config if config is not None else TrainConfig()
+
+        n = data.n_periods
+        # Decision index t needs: a full window ending at t, a previous
+        # period (for the PVM drift y_t), and a next period (for the
+        # reward's y_{t+1}).
+        self.first_index = max(self.observation.first_decision_index(), 1)
+        self.last_index = n - 2
+        if self.last_index - self.first_index + 1 < self.config.batch_size:
+            raise ValueError(
+                f"training panel too short: decisions "
+                f"[{self.first_index}, {self.last_index}] vs batch "
+                f"{self.config.batch_size}"
+            )
+        self.pvm = PortfolioVectorMemory(n, data.n_assets)
+        self.sampler = GeometricBatchSampler(
+            self.first_index,
+            self.last_index,
+            self.config.batch_size,
+            bias=self.config.geometric_bias,
+            rng=make_rng(seed),
+        )
+        # Precompute price relatives (with cash) for the whole panel.
+        rel = data.close[1:] / data.close[:-1]
+        self._relatives = np.concatenate([np.ones((n - 1, 1)), rel], axis=1)
+        self._perm_rng = make_rng(seed + 1)
+
+    # ------------------------------------------------------------------
+    def _drift(self, w: np.ndarray, y: np.ndarray) -> np.ndarray:
+        growth = w * y
+        return growth / growth.sum(axis=1, keepdims=True)
+
+    def train_step(self) -> Dict[str, float]:
+        """One minibatch update; returns loss/reward diagnostics."""
+        indices = self.sampler.sample()
+        m = self.data.n_assets
+        if self.config.permute_assets:
+            perm = self._perm_rng.permutation(m)
+        else:
+            perm = np.arange(m)
+        # Index 0 is cash and never permutes.
+        action_perm = np.concatenate([[0], 1 + perm])
+        view = (
+            self.data.select_assets(list(perm))
+            if self.config.permute_assets
+            else self.data
+        )
+
+        w_prev = self.pvm.read(indices - 1)[:, action_perm]
+        # Drift the cached previous weights by the already-realised move
+        # y_t = close_t / close_{t-1} (row t-1 of the relatives array).
+        y_t = self._relatives[indices - 1][:, action_perm]
+        w_drifted = self._drift(w_prev, y_t)
+
+        actions = self.policy.policy_forward(view, indices, w_prev)
+        y_next = Tensor(self._relatives[indices][:, action_perm])  # y_{t+1}
+        mu = transaction_remainder_approx(
+            Tensor(w_drifted), actions, self.config.commission
+        )
+        growth = (actions * y_next).sum(axis=1)
+        log_return = (mu * growth).log()
+        loss = -log_return.mean()
+
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+
+        # Write the PVM back in the original asset order.
+        unpermuted = np.empty_like(actions.data)
+        unpermuted[:, action_perm] = actions.data
+        self.pvm.write(indices, unpermuted)
+        return {
+            "loss": float(loss.data),
+            "reward": float(log_return.data.mean()),
+        }
+
+    def train(
+        self,
+        steps: Optional[int] = None,
+        callback: Optional[Callable[[int, Dict[str, float]], None]] = None,
+    ) -> TrainHistory:
+        """Run the full loop; returns the loss/reward history."""
+        steps = steps if steps is not None else self.config.steps
+        history = TrainHistory()
+        for step in range(1, steps + 1):
+            stats = self.train_step()
+            if step % self.config.log_every == 0 or step == steps:
+                history.record(step, stats["loss"], stats["reward"])
+            if callback is not None:
+                callback(step, stats)
+        return history

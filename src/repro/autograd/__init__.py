@@ -1,0 +1,40 @@
+"""Numpy-based reverse-mode automatic differentiation.
+
+Public surface::
+
+    from repro.autograd import Tensor, nn, functional, optim
+    from repro.autograd import concatenate, stack, where, custom_op
+"""
+
+from . import functional, nn, optim
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import (
+    Tensor,
+    concatenate,
+    custom_op,
+    ensure_tensor,
+    ones,
+    stack,
+    unbroadcast,
+    where,
+    zeros,
+    zeros_like,
+)
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "custom_op",
+    "ensure_tensor",
+    "functional",
+    "nn",
+    "ones",
+    "optim",
+    "stack",
+    "unbroadcast",
+    "where",
+    "zeros",
+    "zeros_like",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,163 @@
+"""Composite differentiable operations built on :class:`~repro.autograd.tensor.Tensor`.
+
+Includes the numerically-stable softmax family used by the policy
+decoders and an ``im2col`` 2-D convolution used by the Jiang EIIE
+baseline network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    return ensure_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return ensure_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return ensure_tensor(x).tanh()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = ensure_tensor(prediction) - ensure_tensor(target)
+    return (diff * diff).mean()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (torch convention)."""
+    out = ensure_tensor(x) @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int]
+) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches from ``x`` of shape (B, C, H, W).
+
+    Returns an array of shape (B, out_h, out_w, C * kh * kw) plus the
+    output spatial dimensions.
+    """
+    batch, channels, height, width = x.shape
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    shape = (batch, channels, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * sh,
+        x.strides[3] * sw,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Tuple[int, int] = (1, 1),
+) -> Tensor:
+    """2-D cross-correlation (convolution in the deep-learning sense).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, kH, kW)``.
+    bias:
+        Optional ``(C_out,)`` bias.
+    stride:
+        Spatial stride ``(sH, sW)``.
+
+    Returns
+    -------
+    Tensor of shape ``(B, C_out, H_out, W_out)``.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D weight, got shape {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {weight.shape[1]}"
+        )
+
+    c_out, c_in, kh, kw = weight.shape
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = cols @ w_mat.T  # (B, out_h, out_w, C_out)
+    out = out.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    sh, sw = stride
+
+    def backward(g: np.ndarray):
+        # g: (B, C_out, out_h, out_w)
+        g_cols = g.transpose(0, 2, 3, 1)  # (B, oh, ow, C_out)
+        grad_w = np.einsum("bijo,bijk->ok", g_cols, cols).reshape(weight.shape)
+        grad_cols = g_cols @ w_mat  # (B, oh, ow, C_in*kh*kw)
+        grad_cols = grad_cols.reshape(
+            x.shape[0], out_h, out_w, c_in, kh, kw
+        ).transpose(0, 3, 1, 2, 4, 5)
+        grad_x = np.zeros_like(x.data)
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[
+                    :, :, i : i + out_h * sh : sh, j : j + out_w * sw : sw
+                ] += grad_cols[:, :, :, :, i, j]
+        grads = [grad_x, grad_w]
+        if bias is not None:
+            grads.append(g.sum(axis=(0, 2, 3)))
+        return tuple(grads)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(np.ascontiguousarray(out), parents, backward, "conv2d")
+
+
+def dropout(
+    x: Tensor, p: float, rng: np.random.Generator, training: bool = True
+) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return ensure_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = ensure_tensor(x)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)

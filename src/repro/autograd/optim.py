@@ -1,0 +1,152 @@
+"""First-order optimisers for :class:`~repro.autograd.nn.Parameter` lists.
+
+The paper trains SDP with a learning rate of ``1e-5`` (Table 2) using
+gradient descent through STBP; we additionally provide Adam and RMSProp,
+which the Jiang et al. baseline framework uses, plus plain SGD with
+momentum for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimiser: holds parameters, applies per-step updates."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            self._update(i, p)
+
+    def _update(self, index: int, param: Tensor) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, index: int, param: Tensor) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            self._velocity[index] = self.momentum * self._velocity[index] + grad
+            grad = self._velocity[index]
+        param.data = param.data - self.lr * grad
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton), used by the original EIIE code."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_avg = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, index: int, param: Tensor) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        avg = self._square_avg[index]
+        avg *= self.alpha
+        avg += (1.0 - self.alpha) * grad * grad
+        param.data = param.data - self.lr * grad / (np.sqrt(avg) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, index: int, param: Tensor) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        m = self._m[index]
+        v = self._v[index]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1 ** self._step_count)
+        v_hat = v / (1.0 - self.beta2 ** self._step_count)
+        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class GradientClipper:
+    """Clip the global gradient norm of a parameter list before a step."""
+
+    def __init__(self, max_norm: float):
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive, got {max_norm}")
+        self.max_norm = max_norm
+
+    def clip(self, params: Iterable[Tensor]) -> float:
+        """Scale gradients in-place; returns the pre-clip global norm."""
+        params = [p for p in params if p.grad is not None]
+        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+        if total > self.max_norm and total > 0:
+            scale = self.max_norm / total
+            for p in params:
+                p.grad = p.grad * scale
+        return total

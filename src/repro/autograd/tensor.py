@@ -1,0 +1,589 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module provides the :class:`Tensor` type used throughout the
+reproduction.  A ``Tensor`` wraps a ``numpy.ndarray`` and records the
+operations applied to it so that :meth:`Tensor.backward` can propagate
+gradients through the computation graph.
+
+The engine is deliberately small but complete enough to train both the
+spiking deterministic policy (unrolled over time with surrogate
+gradients, see :mod:`repro.snn`) and the Jiang et al. EIIE convolutional
+baseline (see :mod:`repro.agents.jiang`).
+
+Design notes
+------------
+* Graphs are built eagerly: every differentiable operation returns a new
+  ``Tensor`` holding references to its parents and a backward closure.
+* Broadcasting follows numpy semantics; gradients are reduced back to the
+  parent's shape with :func:`unbroadcast`.
+* ``float64`` is the default dtype so that finite-difference gradient
+  checking (:mod:`repro.autograd.gradcheck`) is reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape produced by broadcasting) back to ``shape``.
+
+    Summing over axes that were added or stretched by numpy broadcasting
+    restores the gradient of the original operand.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were prepended by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayish, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def ensure_tensor(value: Arrayish) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (no-op if it already is one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """A numpy-backed array that records gradients.
+
+    Parameters
+    ----------
+    data:
+        Array-like initial value.  Copied into ``float64`` unless an
+        ndarray of floating dtype is given, in which case it is used
+        as-is (views are allowed; the engine never mutates data of
+        graph-internal tensors).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(self, data: Arrayish, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(_DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, do not mutate)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a tensor with exactly one element")
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing data, cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str = "",
+    ) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[Arrayish] = None) -> None:
+        """Backpropagate ``grad`` (default: ones) through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+
+        grads = {id(self): np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            # Intermediate nodes can also be inspected if they were marked.
+            if not node._parents:
+                node._accumulate(node_grad)
+                continue
+            parent_grads = node._backward(node_grad)
+            if parent_grads is None:
+                continue
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = ensure_tensor(other)
+        data = self.data + other.data
+
+        def backward(g: np.ndarray):
+            return (unbroadcast(g, self.shape), unbroadcast(g, other.shape))
+
+        return Tensor._make(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other = ensure_tensor(other)
+        data = self.data - other.data
+
+        def backward(g: np.ndarray):
+            return (unbroadcast(g, self.shape), unbroadcast(-g, other.shape))
+
+        return Tensor._make(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = ensure_tensor(other)
+        data = self.data * other.data
+
+        def backward(g: np.ndarray):
+            return (
+                unbroadcast(g * other.data, self.shape),
+                unbroadcast(g * self.data, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = ensure_tensor(other)
+        data = self.data / other.data
+
+        def backward(g: np.ndarray):
+            return (
+                unbroadcast(g / other.data, self.shape),
+                unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return ensure_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        data = self.data ** exponent
+
+        def backward(g: np.ndarray):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward, "pow")
+
+    def __matmul__(self, other: Arrayish) -> "Tensor":
+        other = ensure_tensor(other)
+        data = self.data @ other.data
+
+        def backward(g: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                ga = g * b
+                gb = g * a
+            elif a.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                ga = unbroadcast((g[..., None, :] * b).sum(axis=-1), a.shape)
+                gb = unbroadcast(a[:, None] * g[..., None, :], b.shape)
+            elif b.ndim == 1:
+                # (..., m, k) @ (k,) -> (..., m)
+                ga = unbroadcast(g[..., :, None] * b, a.shape)
+                gb = unbroadcast((a * g[..., :, None]).sum(axis=tuple(range(a.ndim - 1))), b.shape)
+            else:
+                ga = unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape)
+                gb = unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape)
+            return (ga, gb)
+
+        return Tensor._make(data, (self, other), backward, "matmul")
+
+    def __rmatmul__(self, other: Arrayish) -> "Tensor":
+        return ensure_tensor(other).__matmul__(self)
+
+    # ------------------------------------------------------------------
+    # Elementwise transcendental ops
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * data,)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(g: np.ndarray):
+            return (g / self.data,)
+
+        return Tensor._make(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * 0.5 / data,)
+
+        return Tensor._make(data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * (1.0 - data ** 2),)
+
+        return Tensor._make(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray):
+            return (g * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(g: np.ndarray):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward, "relu")
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * np.sign(self.data),)
+
+        return Tensor._make(data, (self,), backward, "abs")
+
+    def clip(self, low: Optional[float], high: Optional[float]) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+
+        def backward(g: np.ndarray):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).copy(),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g_expanded = np.expand_dims(g_expanded, a)
+            return (np.broadcast_to(g_expanded, self.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                mask = (self.data == data).astype(self.data.dtype)
+                mask /= mask.sum()
+                return (mask * g,)
+            g_expanded = g
+            d_expanded = data
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g_expanded = np.expand_dims(g_expanded, a)
+                    d_expanded = np.expand_dims(d_expanded, a)
+            mask = (self.data == d_expanded).astype(self.data.dtype)
+            mask /= mask.sum(
+                axis=axis if isinstance(axis, tuple) else (axis,), keepdims=True
+            )
+            return (mask * g_expanded,)
+
+        return Tensor._make(data, (self,), backward, "max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        old_shape = self.shape
+
+        def backward(g: np.ndarray):
+            return (g.reshape(old_shape),)
+
+        return Tensor._make(data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g: np.ndarray):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward, "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(g: np.ndarray):
+            out = np.zeros_like(self.data)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(data, (self,), backward, "getitem")
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(g: np.ndarray):
+            return (np.squeeze(g, axis=axis),)
+
+        return Tensor._make(data, (self,), backward, "expand_dims")
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        data = np.squeeze(self.data, axis=axis)
+        old_shape = self.shape
+
+        def backward(g: np.ndarray):
+            return (g.reshape(old_shape),)
+
+        return Tensor._make(data, (self,), backward, "squeeze")
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return plain ndarrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: Arrayish) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __ge__(self, other: Arrayish) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __lt__(self, other: Arrayish) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __le__(self, other: Arrayish) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+# ----------------------------------------------------------------------
+# Module-level graph ops over collections of tensors
+# ----------------------------------------------------------------------
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``, differentiable in every input."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        grads = []
+        slicer: List[slice] = [slice(None)] * g.ndim
+        for i in range(len(tensors)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(data, tensors, backward, "concatenate")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``, differentiable in every input."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tensors, backward, "stack")
+
+
+def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
+    """Differentiable ``numpy.where`` with a boolean (non-tensor) condition."""
+    a = ensure_tensor(a)
+    b = ensure_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            unbroadcast(np.where(cond, g, 0.0), a.shape),
+            unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward, "where")
+
+
+def custom_op(
+    inputs: Sequence[Tensor],
+    forward_value: np.ndarray,
+    backward_fn: Callable[[np.ndarray], Iterable[Optional[np.ndarray]]],
+    name: str = "custom",
+) -> Tensor:
+    """Register an op with a hand-written gradient (e.g. surrogate spikes).
+
+    Parameters
+    ----------
+    inputs:
+        Parent tensors the gradient flows back to.
+    forward_value:
+        Pre-computed forward result.
+    backward_fn:
+        Maps the output gradient to one gradient per input (``None`` to
+        skip an input).
+    """
+    return Tensor._make(np.asarray(forward_value), tuple(inputs), backward_fn, name)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def zeros_like(t: Tensor) -> Tensor:
+    return Tensor(np.zeros_like(t.data))

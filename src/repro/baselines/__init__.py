@@ -1,0 +1,40 @@
+"""Classical on-line portfolio-selection baselines of Table 3.
+
+UCRP, Best Stock, M0, ANTICOR, and ONS (plus UBAH and variants), all
+implementing the common :class:`~repro.agents.base.Agent` interface so
+they back-test through the same loop as the learning agents.
+"""
+
+from typing import Dict, List
+
+from ..agents.base import Agent
+from .anticor import Anticor, AnticorEnsemble, anticor_weights
+from .bah import UBAH
+from .base import ClassicalStrategy, project_to_simplex
+from .best_stock import BestStock, FollowTheWinner
+from .crp import CRP, UCRP
+from .m0 import M0
+from .ons import ONS, projection_in_norm
+
+
+def table3_baselines() -> List[Agent]:
+    """The classical strategies of the paper's Table 3, in its order."""
+    return [ONS(), BestStock(), Anticor(), M0(), UCRP()]
+
+
+__all__ = [
+    "Anticor",
+    "AnticorEnsemble",
+    "BestStock",
+    "CRP",
+    "ClassicalStrategy",
+    "FollowTheWinner",
+    "M0",
+    "ONS",
+    "UBAH",
+    "UCRP",
+    "anticor_weights",
+    "project_to_simplex",
+    "projection_in_norm",
+    "table3_baselines",
+]

@@ -1,0 +1,155 @@
+r"""ANTICOR: the anti-correlation mean-reversion strategy (Table 3's
+"ANTICOR").
+
+Borodin, El-Yaniv & Gogan (2004).  For a window length ``w`` the
+algorithm compares two consecutive windows of log price-relatives,
+LX1 = periods t−2w+1..t−w and LX2 = t−w+1..t.  Wealth is transferred
+from asset ``i`` to asset ``j`` when ``i`` outperformed ``j`` in the
+recent window but their cross-window correlation ``M_cor[i, j]`` is
+positive — betting the lead will revert.  The claim from ``i`` to ``j``
+adds the negative autocorrelations of both assets:
+
+.. math::
+
+    claim_{i \to j} = M_{cor}[i,j] + \max(0, -M_{cor}[i,i])
+                      + \max(0, -M_{cor}[j,j])
+
+The canonical BAH(ANTICOR) wealth-weighted ensemble over window lengths
+``2..W`` is provided as :class:`AnticorEnsemble`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.market import MarketData
+from .base import ClassicalStrategy
+
+DEFAULT_WINDOW = 15
+
+
+def _window_statistics(lx1: np.ndarray, lx2: np.ndarray):
+    """Means and cross-window correlation matrix of two log-relative blocks."""
+    mu1 = lx1.mean(axis=0)
+    mu2 = lx2.mean(axis=0)
+    sd1 = lx1.std(axis=0, ddof=1)
+    sd2 = lx2.std(axis=0, ddof=1)
+    n = lx1.shape[0]
+    cov = (lx1 - mu1).T @ (lx2 - mu2) / (n - 1)
+    denom = np.outer(sd1, sd2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = np.where(denom > 0, cov / denom, 0.0)
+    return mu2, corr
+
+
+def anticor_weights(
+    relatives: np.ndarray, current: np.ndarray, window: int
+) -> np.ndarray:
+    """One ANTICOR update of the portfolio ``current``.
+
+    ``relatives`` holds all observed price relatives (rows oldest
+    first).  Returns the new asset allocation; if fewer than ``2·window``
+    observations exist the portfolio is unchanged.
+    """
+    n_obs, n_assets = relatives.shape
+    if n_obs < 2 * window:
+        return current
+    log_rel = np.log(relatives[-2 * window :])
+    lx1 = log_rel[:window]
+    lx2 = log_rel[window:]
+    mu2, corr = _window_statistics(lx1, lx2)
+
+    # claim[i, j]: transfer wealth i -> j when i beat j recently and the
+    # cross-correlation is positive.
+    better = mu2[:, None] > mu2[None, :]
+    positive = corr > 0
+    claims = np.where(
+        better & positive,
+        corr
+        + np.maximum(0.0, -np.diag(corr))[:, None]
+        + np.maximum(0.0, -np.diag(corr))[None, :],
+        0.0,
+    )
+    np.fill_diagonal(claims, 0.0)
+
+    totals = claims.sum(axis=1)
+    transfer = np.zeros_like(claims)
+    senders = totals > 0
+    transfer[senders] = (
+        current[senders, None] * claims[senders] / totals[senders, None]
+    )
+    new_weights = current - transfer.sum(axis=1) + transfer.sum(axis=0)
+    new_weights = np.clip(new_weights, 0.0, None)
+    total = new_weights.sum()
+    if total <= 0:
+        return np.full(n_assets, 1.0 / n_assets)
+    return new_weights / total
+
+
+class Anticor(ClassicalStrategy):
+    """Single-window ANTICOR."""
+
+    name = "ANTICOR"
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = int(window)
+
+    def begin_backtest(self, data: MarketData) -> None:
+        super().begin_backtest(data)
+        self._weights: Optional[np.ndarray] = None
+        self._seen = 0
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        if self._weights is None:
+            self._weights = np.full(n_assets, 1.0 / n_assets)
+        # Apply one update per newly observed period (the back-test loop
+        # hands us the full history each call).
+        while self._seen < relatives.shape[0]:
+            self._seen += 1
+            self._weights = anticor_weights(
+                relatives[: self._seen], self._weights, self.window
+            )
+        return self._weights
+
+
+class AnticorEnsemble(ClassicalStrategy):
+    """BAH(ANTICOR): wealth-weighted ensemble over windows 2..max_window."""
+
+    name = "ANTICOR-BAH"
+
+    def __init__(self, max_window: int = 15):
+        if max_window < 2:
+            raise ValueError(f"max_window must be >= 2, got {max_window}")
+        self.max_window = int(max_window)
+
+    def begin_backtest(self, data: MarketData) -> None:
+        super().begin_backtest(data)
+        n_windows = self.max_window - 1
+        self._experts: List[Optional[np.ndarray]] = [None] * n_windows
+        self._wealth = np.ones(n_windows)
+        self._seen = 0
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        for k in range(len(self._experts)):
+            if self._experts[k] is None:
+                self._experts[k] = np.full(n_assets, 1.0 / n_assets)
+        while self._seen < relatives.shape[0]:
+            y = relatives[self._seen]
+            self._seen += 1
+            for k, window in enumerate(range(2, self.max_window + 1)):
+                expert = self._experts[k]
+                self._wealth[k] *= float(expert @ y)
+                drifted = expert * y
+                drifted = drifted / drifted.sum()
+                self._experts[k] = anticor_weights(
+                    relatives[: self._seen], drifted, window
+                )
+        combined = sum(
+            wealth * expert
+            for wealth, expert in zip(self._wealth, self._experts)
+        ) / self._wealth.sum()
+        return combined

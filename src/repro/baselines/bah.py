@@ -1,0 +1,29 @@
+"""Uniform Buy-And-Hold (market benchmark).
+
+Buys the uniform portfolio at the first decision and never rebalances:
+the target weights drift with prices.  Not in Table 3 but standard in
+every on-line portfolio-selection comparison and useful as the "market"
+reference series in the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ClassicalStrategy
+
+
+class UBAH(ClassicalStrategy):
+    """Uniform buy-and-hold: initial 1/M, then let weights drift."""
+
+    name = "UBAH"
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        weights = np.full(n_assets, 1.0 / n_assets)
+        if relatives.shape[0] == 0:
+            return weights
+        # Compound each asset's growth since the start; the drifted
+        # buy-and-hold weights are proportional to cumulative growth.
+        growth = np.prod(relatives, axis=0)
+        drifted = weights * growth
+        return drifted / drifted.sum()

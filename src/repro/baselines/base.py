@@ -1,0 +1,76 @@
+"""Shared machinery for the classical on-line portfolio-selection
+strategies the paper benchmarks against (Table 3).
+
+All baselines are :class:`~repro.agents.base.Agent` subclasses, so they
+run through the identical back-test loop as the learning agents.
+Following the on-line portfolio-selection literature (and Jiang et
+al.'s comparison), the classical strategies allocate over the M risky
+assets only — their cash weight is always zero; the simplex is over
+assets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..agents.base import Agent
+from ..data.market import MarketData
+
+
+def project_to_simplex(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection onto the probability simplex.
+
+    Duchi et al. (2008): O(n log n) sort-based algorithm.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("project_to_simplex expects a vector")
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u)
+    rho_candidates = u - (css - 1.0) / np.arange(1, v.size + 1)
+    rho = np.nonzero(rho_candidates > 0)[0][-1]
+    theta = (css[rho] - 1.0) / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
+class ClassicalStrategy(Agent):
+    """Base class: tracks observed price relatives, allocates over assets.
+
+    Subclasses implement :meth:`asset_weights`, returning a distribution
+    over the M assets given all price relatives observed so far
+    (rows ``y_1 .. y_k``, each ``close_t / close_{t-1}``).
+    """
+
+    def begin_backtest(self, data: MarketData) -> None:
+        self._start_index: int | None = None
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
+        if getattr(self, "_start_index", None) is None:
+            self._start_index = t
+        # Relatives observed since the back-test started (no look-ahead:
+        # row k is close_{s+k+1}/close_{s+k} with s+k+1 <= t).
+        closes = data.close[self._start_index : t + 1]
+        relatives = closes[1:] / closes[:-1] if closes.shape[0] > 1 else np.empty(
+            (0, data.n_assets)
+        )
+        w_assets = self.asset_weights(relatives, data.n_assets)
+        w_assets = np.asarray(w_assets, dtype=np.float64)
+        if w_assets.shape != (data.n_assets,):
+            raise ValueError(
+                f"{self.name}: expected {data.n_assets} asset weights, "
+                f"got shape {w_assets.shape}"
+            )
+        if np.any(w_assets < -1e-9):
+            raise ValueError(f"{self.name}: negative asset weights")
+        w_assets = np.clip(w_assets, 0.0, None)
+        total = w_assets.sum()
+        if total <= 0:
+            w_assets = np.full(data.n_assets, 1.0 / data.n_assets)
+        else:
+            w_assets = w_assets / total
+        return np.concatenate([[0.0], w_assets])

@@ -1,0 +1,49 @@
+"""Best Stock: the single best asset in hindsight (Table 3's "Best Stock").
+
+The standard hindsight benchmark of the on-line portfolio-selection
+literature: put everything in the one asset that performs best over the
+*entire back-test window*.  It intentionally peeks at the future — it is
+an upper-bound reference for single-asset strategies, not a tradeable
+policy — which is why the paper's Table 3 can show it beating every
+on-line method on fAPV in experiment 3 while still drawing down 51%.
+
+A causal variant (:class:`FollowTheWinner`) that holds the best asset
+*so far* is included for completeness/ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.market import MarketData
+from .base import ClassicalStrategy
+
+
+class BestStock(ClassicalStrategy):
+    """All-in on the asset with the highest total return over the test."""
+
+    name = "Best Stock"
+
+    def begin_backtest(self, data: MarketData) -> None:
+        super().begin_backtest(data)
+        total_growth = data.close[-1] / data.close[0]
+        self._best = int(np.argmax(total_growth))
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        weights = np.zeros(n_assets)
+        weights[self._best] = 1.0
+        return weights
+
+
+class FollowTheWinner(ClassicalStrategy):
+    """Causal cousin of Best Stock: hold the best performer to date."""
+
+    name = "Follow-the-Winner"
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        weights = np.zeros(n_assets)
+        if relatives.shape[0] == 0:
+            return np.full(n_assets, 1.0 / n_assets)
+        growth = np.prod(relatives, axis=0)
+        weights[int(np.argmax(growth))] = 1.0
+        return weights

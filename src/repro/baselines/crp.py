@@ -1,0 +1,49 @@
+"""Constant-rebalanced portfolios.
+
+UCRP — the Uniform Constant Rebalanced Portfolio — rebalances to the
+uniform asset allocation every period (Cover 1991's benchmark; Table 3's
+"UCRP").  The generalised :class:`CRP` accepts any fixed target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import ClassicalStrategy
+
+
+class CRP(ClassicalStrategy):
+    """Rebalance to a fixed asset allocation every period."""
+
+    name = "CRP"
+
+    def __init__(self, target: Optional[Sequence[float]] = None):
+        self._target = None if target is None else np.asarray(target, dtype=np.float64)
+        if self._target is not None:
+            if np.any(self._target < 0):
+                raise ValueError("CRP target must be non-negative")
+            total = self._target.sum()
+            if total <= 0:
+                raise ValueError("CRP target must have positive mass")
+            self._target = self._target / total
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        if self._target is None:
+            return np.full(n_assets, 1.0 / n_assets)
+        if self._target.shape != (n_assets,):
+            raise ValueError(
+                f"CRP target has {self._target.shape[0]} entries for "
+                f"{n_assets} assets"
+            )
+        return self._target
+
+
+class UCRP(CRP):
+    """Uniform CRP: 1/M in every asset, rebalanced each period."""
+
+    name = "UCRP"
+
+    def __init__(self):
+        super().__init__(target=None)

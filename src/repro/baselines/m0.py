@@ -1,0 +1,36 @@
+"""M0: the order-0 Markov prediction strategy (Table 3's "M0").
+
+Borodin, El-Yaniv & Gogan ("Can We Learn to Beat the Best Stock", 2004)
+describe the M(0) strategy from the universal-prediction family: a
+zeroth-order predictor counts, for each asset, how often it has been the
+period's best performer, and allocates proportionally to the
+add-half (Krichevsky–Trofimov) smoothed counts.  With no memory of
+context it is a calibrated follow-the-winner that never commits fully to
+one asset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ClassicalStrategy
+
+
+class M0(ClassicalStrategy):
+    """Order-0 Markov experts with Krichevsky–Trofimov smoothing."""
+
+    name = "M0"
+
+    def __init__(self, prior: float = 0.5):
+        if prior <= 0:
+            raise ValueError(f"prior must be positive, got {prior}")
+        self.prior = float(prior)
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        if relatives.shape[0] > 0:
+            winners = np.argmax(relatives, axis=1)
+            counts = np.bincount(winners, minlength=n_assets).astype(np.float64)
+        else:
+            counts = np.zeros(n_assets)
+        smoothed = counts + self.prior
+        return smoothed / smoothed.sum()

@@ -1,0 +1,113 @@
+"""ONS: Online Newton Step portfolio selection (Table 3's "ONS").
+
+Agarwal, Hazan, Kale & Schapire, "Algorithms for Portfolio Management
+based on the Newton Method" (ICML 2006).  At each step the gradient of
+the log-wealth, ``g_t = y_t / (w_t · y_t)``, updates a running Hessian
+approximation ``A_t = Σ g g^T + ε I``; the next portfolio is the
+projection — *in the norm induced by A_t* — of the Newton iterate
+``w_t + (1/β) A_t^{-1} g_t`` onto the simplex, mixed with uniform for
+robustness:
+
+.. math::
+
+    w_{t+1} = (1-\\eta)\\,\\Pi^{A_t}_{\\Delta}\\big(w_t + \\tfrac{1}{\\beta}
+    A_t^{-1} g_t\\big) + \\eta\\,\\mathbf{1}/m
+
+The generalised projection solves a small convex QP; we use an
+active-set iteration on the KKT conditions (exact for this problem
+size) with a Euclidean-projection fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..data.market import MarketData
+from .base import ClassicalStrategy, project_to_simplex
+
+DEFAULT_BETA = 2.0
+DEFAULT_DELTA = 0.125
+DEFAULT_ETA = 0.01
+
+
+def projection_in_norm(point: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Projection of ``point`` onto the simplex in the ``matrix`` norm.
+
+    Solves ``min_x (x − p)^T A (x − p)  s.t.  x ≥ 0, Σx = 1`` with
+    SLSQP (the problem is a tiny strictly convex QP; the solver's
+    tolerance is far below trading significance).  Falls back to the
+    Euclidean projection if the solver fails.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    m = point.size
+
+    def objective(x: np.ndarray) -> float:
+        d = x - point
+        return float(d @ matrix @ d)
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        return 2.0 * matrix @ (x - point)
+
+    x0 = project_to_simplex(point)
+    result = minimize(
+        objective,
+        x0,
+        jac=gradient,
+        method="SLSQP",
+        bounds=[(0.0, 1.0)] * m,
+        constraints=[{"type": "eq", "fun": lambda x: x.sum() - 1.0}],
+        options={"maxiter": 200, "ftol": 1e-12},
+    )
+    if result.success and np.all(result.x >= -1e-9):
+        x = np.clip(result.x, 0.0, None)
+        return x / x.sum()
+    return x0
+
+
+class ONS(ClassicalStrategy):
+    """Online Newton Step with uniform mixing."""
+
+    name = "ONS"
+
+    def __init__(
+        self,
+        beta: float = DEFAULT_BETA,
+        delta: float = DEFAULT_DELTA,
+        eta: float = DEFAULT_ETA,
+    ):
+        if beta <= 0 or delta <= 0:
+            raise ValueError("beta and delta must be positive")
+        if not 0.0 <= eta < 1.0:
+            raise ValueError(f"eta must be in [0, 1), got {eta}")
+        self.beta = float(beta)
+        self.delta = float(delta)
+        self.eta = float(eta)
+
+    def begin_backtest(self, data: MarketData) -> None:
+        super().begin_backtest(data)
+        m = data.n_assets
+        self._A = self.delta * np.eye(m)
+        self._b = np.zeros(m)
+        self._weights = np.full(m, 1.0 / m)
+        self._seen = 0
+
+    def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
+        while self._seen < relatives.shape[0]:
+            y = relatives[self._seen]
+            self._seen += 1
+            denom = float(self._weights @ y)
+            if denom <= 0:
+                denom = 1e-12
+            grad = y / denom
+            self._A += np.outer(grad, grad)
+            self._b += (1.0 + 1.0 / self.beta) * grad
+            newton = np.linalg.solve(self._A, self._b) / self.beta
+            projected = projection_in_norm(newton, self._A)
+            self._weights = (
+                (1.0 - self.eta) * projected + self.eta / n_assets
+            )
+        return self._weights

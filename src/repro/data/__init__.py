@@ -1,0 +1,52 @@
+"""Market-data substrate: synthetic crypto market + simulated exchange.
+
+Substitutes the paper's Poloniex 2016–2021 dataset (see DESIGN.md §2)
+with a deterministic regime-switching jump-diffusion market and an
+offline Poloniex-compatible API.
+"""
+
+from .generator import (
+    DEFAULT_PERIOD_SECONDS,
+    CoinSpec,
+    MarketGenerator,
+    default_universe,
+)
+from .market import MarketData
+from .poloniex import PoloniexError, PoloniexSimulator, VALID_PERIODS
+from .regimes import (
+    Regime,
+    RegimeSchedule,
+    default_crypto_schedule,
+    format_date,
+    parse_date,
+)
+from .selection import (
+    PAPER_NUM_ASSETS,
+    PAPER_VOLUME_WINDOW_DAYS,
+    select_universe,
+    top_volume_assets,
+)
+from .splits import TABLE1_WINDOWS, ExperimentWindow, get_window
+
+__all__ = [
+    "CoinSpec",
+    "DEFAULT_PERIOD_SECONDS",
+    "ExperimentWindow",
+    "MarketData",
+    "MarketGenerator",
+    "PAPER_NUM_ASSETS",
+    "PAPER_VOLUME_WINDOW_DAYS",
+    "PoloniexError",
+    "PoloniexSimulator",
+    "Regime",
+    "RegimeSchedule",
+    "TABLE1_WINDOWS",
+    "VALID_PERIODS",
+    "default_crypto_schedule",
+    "default_universe",
+    "format_date",
+    "get_window",
+    "parse_date",
+    "select_universe",
+    "top_volume_assets",
+]

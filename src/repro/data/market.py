@@ -1,0 +1,198 @@
+"""OHLCV panel container used throughout the reproduction.
+
+:class:`MarketData` holds aligned open/high/low/close/volume arrays of
+shape ``(n_periods, n_assets)`` plus period timestamps and asset names.
+It is the only interface the environments, agents, and baselines see —
+whether the panel came from the synthetic generator or the simulated
+exchange API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .regimes import format_date, parse_date
+
+
+@dataclass
+class MarketData:
+    """Aligned OHLCV history for a set of assets.
+
+    All price arrays have shape ``(n_periods, n_assets)``; ``timestamps``
+    holds the *open* time of each period in UTC epoch seconds and is
+    strictly increasing with a constant spacing of ``period_seconds``.
+    """
+
+    timestamps: np.ndarray
+    names: List[str]
+    open: np.ndarray
+    high: np.ndarray
+    low: np.ndarray
+    close: np.ndarray
+    volume: np.ndarray
+    period_seconds: int
+
+    def __post_init__(self):
+        self.timestamps = np.asarray(self.timestamps, dtype=np.int64)
+        for attr in ("open", "high", "low", "close", "volume"):
+            setattr(self, attr, np.asarray(getattr(self, attr), dtype=np.float64))
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural and OHLC consistency invariants."""
+        n, m = self.close.shape
+        if len(self.names) != m:
+            raise ValueError(f"{len(self.names)} names for {m} asset columns")
+        if self.timestamps.shape != (n,):
+            raise ValueError("timestamps misaligned with price panel")
+        for attr in ("open", "high", "low", "volume"):
+            if getattr(self, attr).shape != (n, m):
+                raise ValueError(f"{attr} misaligned with close panel")
+        if n > 1:
+            gaps = np.diff(self.timestamps)
+            if not np.all(gaps == self.period_seconds):
+                raise ValueError("timestamps must be evenly spaced by period_seconds")
+        if np.any(self.low <= 0) or np.any(self.close <= 0):
+            raise ValueError("prices must be strictly positive")
+        if np.any(self.high < self.low):
+            raise ValueError("high < low violates OHLC consistency")
+        body_high = np.maximum(self.open, self.close)
+        body_low = np.minimum(self.open, self.close)
+        if np.any(self.high < body_high - 1e-9) or np.any(self.low > body_low + 1e-9):
+            raise ValueError("high/low must bracket open/close")
+        if np.any(self.volume < 0):
+            raise ValueError("volume must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_periods(self) -> int:
+        return self.close.shape[0]
+
+    @property
+    def n_assets(self) -> int:
+        return self.close.shape[1]
+
+    def index_at(self, when: Union[int, str]) -> int:
+        """Index of the first period whose open time is >= ``when``.
+
+        ``when`` may be an epoch second or a ``YYYY/MM/DD`` string.
+        """
+        epoch = parse_date(when) if isinstance(when, str) else int(when)
+        idx = int(np.searchsorted(self.timestamps, epoch, side="left"))
+        if idx >= self.n_periods:
+            raise IndexError(
+                f"{format_date(epoch)} is beyond the last period "
+                f"({format_date(int(self.timestamps[-1]))})"
+            )
+        return idx
+
+    def slice_time(
+        self, start: Union[int, str, None] = None, end: Union[int, str, None] = None
+    ) -> "MarketData":
+        """Sub-panel covering ``[start, end)`` (dates or epochs)."""
+        lo = 0 if start is None else self.index_at(start)
+        if end is None:
+            hi = self.n_periods
+        else:
+            epoch = parse_date(end) if isinstance(end, str) else int(end)
+            hi = int(np.searchsorted(self.timestamps, epoch, side="left"))
+        if hi <= lo:
+            raise ValueError(f"empty time slice [{start}, {end})")
+        return self._take(slice(lo, hi), list(range(self.n_assets)))
+
+    def select_assets(self, which: Sequence[Union[int, str]]) -> "MarketData":
+        """Sub-panel with the requested assets (by index or name)."""
+        indices = []
+        for w in which:
+            if isinstance(w, str):
+                try:
+                    indices.append(self.names.index(w))
+                except ValueError:
+                    raise KeyError(f"unknown asset {w!r}") from None
+            else:
+                indices.append(int(w))
+        return self._take(slice(None), indices)
+
+    def _take(self, rows: slice, cols: List[int]) -> "MarketData":
+        return MarketData(
+            timestamps=self.timestamps[rows].copy(),
+            names=[self.names[i] for i in cols],
+            open=self.open[rows][:, cols].copy(),
+            high=self.high[rows][:, cols].copy(),
+            low=self.low[rows][:, cols].copy(),
+            close=self.close[rows][:, cols].copy(),
+            volume=self.volume[rows][:, cols].copy(),
+            period_seconds=self.period_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def price_relatives(self, include_cash: bool = False) -> np.ndarray:
+        """Price-relative vectors y_t = close_t / close_{t-1}.
+
+        Shape ``(n_periods - 1, n_assets)`` — row ``t`` relates period
+        ``t+1`` to period ``t``.  With ``include_cash`` a constant-1
+        column is prepended (the paper's cash asset).
+        """
+        rel = self.close[1:] / self.close[:-1]
+        if include_cash:
+            rel = np.concatenate([np.ones((rel.shape[0], 1)), rel], axis=1)
+        return rel
+
+    def log_returns(self) -> np.ndarray:
+        """Per-period close-to-close log returns, shape (n-1, m)."""
+        return np.log(self.close[1:] / self.close[:-1])
+
+    def rolling_volume(self, window_periods: int) -> np.ndarray:
+        """Trailing volume sums (same shape as ``volume``; NaN-free).
+
+        Entry ``[t, i]`` is the volume of asset ``i`` over the window
+        ending at (and including) period ``t``, truncated at history
+        start.
+        """
+        if window_periods <= 0:
+            raise ValueError("window_periods must be positive")
+        csum = np.concatenate(
+            [np.zeros((1, self.n_assets)), np.cumsum(self.volume, axis=0)]
+        )
+        start = np.maximum(np.arange(self.n_periods) + 1 - window_periods, 0)
+        return csum[1:] - csum[start]
+
+    def resample(self, factor: int) -> "MarketData":
+        """Aggregate ``factor`` consecutive periods into one candle."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if factor == 1:
+            return self
+        n = (self.n_periods // factor) * factor
+        if n == 0:
+            raise ValueError("not enough periods to resample")
+
+        def group(x: np.ndarray) -> np.ndarray:
+            return x[:n].reshape(-1, factor, self.n_assets)
+
+        return MarketData(
+            timestamps=self.timestamps[:n:factor].copy(),
+            names=list(self.names),
+            open=group(self.open)[:, 0, :],
+            high=group(self.high).max(axis=1),
+            low=group(self.low).min(axis=1),
+            close=group(self.close)[:, -1, :],
+            volume=group(self.volume).sum(axis=1),
+            period_seconds=self.period_seconds * factor,
+        )
+
+    def __repr__(self) -> str:
+        span = (
+            f"{format_date(int(self.timestamps[0]))}–"
+            f"{format_date(int(self.timestamps[-1]))}"
+            if self.n_periods
+            else "empty"
+        )
+        return (
+            f"MarketData({self.n_assets} assets × {self.n_periods} periods, "
+            f"{self.period_seconds}s candles, {span})"
+        )

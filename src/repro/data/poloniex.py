@@ -1,0 +1,226 @@
+"""Offline simulation of the Poloniex public HTTP API.
+
+The paper collects its data "from polonix.com [28]" via the public
+endpoint ``https://poloniex.com/public``.  This module reproduces the
+relevant slice of that API — ``returnChartData``, ``return24hVolume``
+and ``returnTicker`` — backed by the synthetic market generator, so the
+data-ingestion code path of the reproduction is the same one a live
+deployment would use.
+
+Responses follow Poloniex's JSON schema (lists of candle dicts with
+``date``/``open``/``high``/``low``/``close``/``volume``/
+``quoteVolume``/``weightedAverage`` keys).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .generator import DEFAULT_PERIOD_SECONDS, CoinSpec, MarketGenerator
+from .market import MarketData
+from .regimes import parse_date
+
+# Candle periods supported by the real API (seconds).
+VALID_PERIODS = (300, 900, 1800, 7200, 14400, 86400)
+
+
+class PoloniexError(ValueError):
+    """Raised for malformed API requests (mirrors the HTTP 4xx path)."""
+
+
+class PoloniexSimulator:
+    """A deterministic, offline stand-in for the Poloniex public API.
+
+    Parameters
+    ----------
+    generator:
+        The synthetic market backing the exchange (default universe and
+        regime calendar if omitted).
+    history_start / history_end:
+        Span of history the exchange "has".  Requests outside it return
+        empty candle lists, like the real API.
+    quote:
+        Quote currency of all pairs (the paper trades BTC-quoted pairs;
+        we use USDT-style quoting for readability — the algorithms only
+        consume relative prices, so the choice is immaterial).
+    """
+
+    def __init__(
+        self,
+        generator: Optional[MarketGenerator] = None,
+        history_start: str = "2016/01/01",
+        history_end: str = "2021/09/01",
+        quote: str = "USDT",
+        base_period: int = DEFAULT_PERIOD_SECONDS,
+    ):
+        self.generator = generator if generator is not None else MarketGenerator()
+        self.quote = quote
+        self.history_start = history_start
+        self.history_end = history_end
+        if base_period not in VALID_PERIODS:
+            raise PoloniexError(f"invalid base period {base_period}")
+        self.base_period = base_period
+        # Generate the full base-resolution history once; API calls are
+        # slices/resamples of this panel.
+        self._data = self.generator.generate(
+            history_start, history_end, period_seconds=base_period
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> MarketData:
+        """The full base-resolution panel (test/diagnostic access)."""
+        return self._data
+
+    def currency_pairs(self) -> List[str]:
+        return [f"{self.quote}_{name}" for name in self._data.names]
+
+    def _asset_index(self, currency_pair: str) -> int:
+        try:
+            quote, base = currency_pair.split("_")
+        except ValueError:
+            raise PoloniexError(f"malformed currency pair {currency_pair!r}") from None
+        if quote != self.quote:
+            raise PoloniexError(f"unknown quote currency {quote!r}")
+        try:
+            return self._data.names.index(base)
+        except ValueError:
+            raise PoloniexError(f"unknown currency pair {currency_pair!r}") from None
+
+    # ------------------------------------------------------------------
+    def return_chart_data(
+        self,
+        currency_pair: str,
+        period: int = DEFAULT_PERIOD_SECONDS,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> List[Dict[str, float]]:
+        """Candlestick data, mirroring ``?command=returnChartData``.
+
+        Parameters
+        ----------
+        currency_pair:
+            e.g. ``"USDT_BTC"``.
+        period:
+            Candle length in seconds; must be one of
+            :data:`VALID_PERIODS` and a multiple of the base period.
+        start, end:
+            UTC epoch bounds (inclusive start, exclusive end).
+
+        Returns
+        -------
+        List of candle dicts in Poloniex schema, oldest first.
+        """
+        if period not in VALID_PERIODS:
+            raise PoloniexError(f"invalid period {period}")
+        if period % self.base_period != 0:
+            raise PoloniexError(
+                f"period {period} is finer than the exchange base period "
+                f"{self.base_period}"
+            )
+        j = self._asset_index(currency_pair)
+        panel = self._data
+        if period != self.base_period:
+            panel = panel.resample(period // self.base_period)
+
+        t = panel.timestamps
+        lo = 0 if start is None else int(np.searchsorted(t, int(start), side="left"))
+        hi = len(t) if end is None else int(np.searchsorted(t, int(end), side="left"))
+        candles = []
+        for i in range(lo, hi):
+            close = panel.close[i, j]
+            volume = panel.volume[i, j]
+            weighted = (panel.high[i, j] + panel.low[i, j] + close) / 3.0
+            candles.append(
+                {
+                    "date": int(t[i]),
+                    "open": float(panel.open[i, j]),
+                    "high": float(panel.high[i, j]),
+                    "low": float(panel.low[i, j]),
+                    "close": float(close),
+                    "volume": float(volume),
+                    "quoteVolume": float(volume / weighted),
+                    "weightedAverage": float(weighted),
+                }
+            )
+        return candles
+
+    # ------------------------------------------------------------------
+    def return_24h_volume(self, as_of: Optional[int] = None) -> Dict[str, float]:
+        """Trailing-24h traded volume per pair (``return24hVolume``)."""
+        t = self._data.timestamps
+        idx = len(t) - 1 if as_of is None else max(
+            int(np.searchsorted(t, int(as_of), side="right")) - 1, 0
+        )
+        window = max(int(86_400 / self._data.period_seconds), 1)
+        lo = max(idx + 1 - window, 0)
+        totals = self._data.volume[lo : idx + 1].sum(axis=0)
+        return {
+            f"{self.quote}_{name}": float(v)
+            for name, v in zip(self._data.names, totals)
+        }
+
+    def return_ticker(self, as_of: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+        """Last-trade snapshot per pair (``returnTicker``)."""
+        t = self._data.timestamps
+        idx = len(t) - 1 if as_of is None else max(
+            int(np.searchsorted(t, int(as_of), side="right")) - 1, 0
+        )
+        out = {}
+        day = self.return_24h_volume(as_of=int(t[idx]))
+        for j, name in enumerate(self._data.names):
+            pair = f"{self.quote}_{name}"
+            last = float(self._data.close[idx, j])
+            out[pair] = {
+                "last": last,
+                "lowestAsk": last * 1.0005,
+                "highestBid": last * 0.9995,
+                "baseVolume": day[pair],
+                "high24hr": float(self._data.high[max(idx - 47, 0) : idx + 1, j].max()),
+                "low24hr": float(self._data.low[max(idx - 47, 0) : idx + 1, j].min()),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def fetch_panel(
+        self,
+        pairs: Sequence[str],
+        start: str,
+        end: str,
+        period: int = DEFAULT_PERIOD_SECONDS,
+    ) -> MarketData:
+        """Assemble a :class:`MarketData` panel through the API path.
+
+        This is what the data-pipeline bench exercises: every candle
+        passes through :meth:`return_chart_data`'s JSON schema, exactly
+        as a live ingestion job would.
+        """
+        t0, t1 = parse_date(start), parse_date(end)
+        columns = {}
+        timestamps = None
+        for pair in pairs:
+            candles = self.return_chart_data(pair, period=period, start=t0, end=t1)
+            if not candles:
+                raise PoloniexError(f"no data for {pair} in [{start}, {end})")
+            ts = np.array([c["date"] for c in candles], dtype=np.int64)
+            if timestamps is None:
+                timestamps = ts
+            elif not np.array_equal(timestamps, ts):
+                raise PoloniexError("misaligned candles across pairs")
+            columns[pair] = candles
+        names = [p.split("_")[1] for p in pairs]
+        stackcol = lambda key: np.column_stack(
+            [[c[key] for c in columns[p]] for p in pairs]
+        )
+        return MarketData(
+            timestamps=timestamps,
+            names=names,
+            open=stackcol("open"),
+            high=stackcol("high"),
+            low=stackcol("low"),
+            close=stackcol("close"),
+            volume=stackcol("volume"),
+            period_seconds=period,
+        )

@@ -1,0 +1,64 @@
+"""Asset-universe selection: top-k coins by trailing traded volume.
+
+The paper: "Each test consists of a portfolio of 11 cryptocurrencies
+with the highest trading volume in the last 30 days before the test
+data."  This module implements that selection against either a
+:class:`~repro.data.market.MarketData` panel or the simulated exchange.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .market import MarketData
+from .poloniex import PoloniexSimulator
+from .regimes import parse_date
+
+PAPER_NUM_ASSETS = 11
+PAPER_VOLUME_WINDOW_DAYS = 30
+
+
+def top_volume_assets(
+    data: MarketData,
+    as_of: Union[int, str],
+    k: int = PAPER_NUM_ASSETS,
+    window_days: int = PAPER_VOLUME_WINDOW_DAYS,
+) -> List[str]:
+    """Names of the ``k`` assets with the highest volume before ``as_of``.
+
+    Volume is summed over the ``window_days`` days ending immediately
+    before ``as_of`` (the paper's "last 30 days before the test data").
+    Ties are broken by name for determinism.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > data.n_assets:
+        raise ValueError(f"requested top {k} of only {data.n_assets} assets")
+    epoch = parse_date(as_of) if isinstance(as_of, str) else int(as_of)
+    end = int(np.searchsorted(data.timestamps, epoch, side="left"))
+    if end == 0:
+        raise ValueError("as_of precedes available history")
+    window_periods = max(int(window_days * 86_400 / data.period_seconds), 1)
+    lo = max(end - window_periods, 0)
+    totals = data.volume[lo:end].sum(axis=0)
+    order = sorted(range(data.n_assets), key=lambda j: (-totals[j], data.names[j]))
+    return [data.names[j] for j in order[:k]]
+
+
+def select_universe(
+    exchange: PoloniexSimulator,
+    test_start: str,
+    k: int = PAPER_NUM_ASSETS,
+    window_days: int = PAPER_VOLUME_WINDOW_DAYS,
+) -> List[str]:
+    """Paper-style selection through the exchange interface.
+
+    Returns currency-pair names (e.g. ``USDT_BTC``) ranked by trailing
+    volume as of the back-test start date.
+    """
+    names = top_volume_assets(
+        exchange.data, test_start, k=k, window_days=window_days
+    )
+    return [f"{exchange.quote}_{name}" for name in names]

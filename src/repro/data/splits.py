@@ -1,0 +1,89 @@
+"""Experiment time windows (Table 1 of the paper).
+
+Three 3-year experiments, each split into train/back-test at fixed
+calendar dates.  (The paper's text says "80% of the collected data is
+considered for the training set and 20% for the algorithm test", but the
+dates in Table 1 imply a ≈90%/10% split — 2.7 years of training versus
+3.5 months of back-test.  We follow the dates, which are what define the
+reported back-tests.)
+
+====== ====================== ====================== =====================
+Exp.   Training set           Back-test set          Total
+====== ====================== ====================== =====================
+1      2016/08/01–2019/04/14  2019/04/14–2019/08/01  2016/08/01–2019/08/01
+2      2017/08/01–2020/04/14  2020/04/14–2020/08/01  2017/08/01–2020/08/01
+3      2018/08/01–2021/04/14  2021/04/14–2021/08/01  2018/08/01–2021/08/01
+====== ====================== ====================== =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .market import MarketData
+from .regimes import parse_date
+
+
+@dataclass(frozen=True)
+class ExperimentWindow:
+    """One row of Table 1."""
+
+    experiment: int
+    train_start: str
+    test_start: str
+    test_end: str
+
+    def __post_init__(self):
+        a, b, c = (
+            parse_date(self.train_start),
+            parse_date(self.test_start),
+            parse_date(self.test_end),
+        )
+        if not a < b < c:
+            raise ValueError(
+                f"experiment {self.experiment}: dates must be ordered "
+                f"{self.train_start} < {self.test_start} < {self.test_end}"
+            )
+
+    @property
+    def total_seconds(self) -> int:
+        return parse_date(self.test_end) - parse_date(self.train_start)
+
+    @property
+    def train_fraction(self) -> float:
+        """Fraction of the window used for training (paper: 80%)."""
+        train = parse_date(self.test_start) - parse_date(self.train_start)
+        return train / self.total_seconds
+
+    def split(self, data: MarketData) -> Tuple[MarketData, MarketData]:
+        """Slice a panel into (train, back-test) sub-panels.
+
+        The back-test slice keeps one extra leading period so the first
+        test step has a previous close to compute its price relative
+        against (no look-ahead: the overlap period is the last training
+        close, already public at test start).
+        """
+        train = data.slice_time(self.train_start, self.test_start)
+        test_start_idx = data.index_at(self.test_start)
+        lead = max(test_start_idx - 1, 0)
+        test = data.slice_time(int(data.timestamps[lead]), self.test_end)
+        return train, test
+
+
+# Table 1, verbatim.
+TABLE1_WINDOWS: Dict[int, ExperimentWindow] = {
+    1: ExperimentWindow(1, "2016/08/01", "2019/04/14", "2019/08/01"),
+    2: ExperimentWindow(2, "2017/08/01", "2020/04/14", "2020/08/01"),
+    3: ExperimentWindow(3, "2018/08/01", "2021/04/14", "2021/08/01"),
+}
+
+
+def get_window(experiment: int) -> ExperimentWindow:
+    """Look up a Table 1 window by experiment number (1, 2, or 3)."""
+    try:
+        return TABLE1_WINDOWS[experiment]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment}; choose from {sorted(TABLE1_WINDOWS)}"
+        ) from None

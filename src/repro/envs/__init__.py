@@ -1,0 +1,42 @@
+"""Portfolio-management environment substrate (§II.A of the paper).
+
+Price-tensor/flat-state observation builders, the transaction remainder
+factor μ_t, the sequential :class:`PortfolioEnv`, Jiang-style
+portfolio-vector memory, and the geometric minibatch sampler.
+"""
+
+from .costs import (
+    DEFAULT_COMMISSION,
+    drifted_weights,
+    transaction_remainder_approx,
+    transaction_remainder_exact,
+)
+from .observations import (
+    ObservationConfig,
+    PRICE_FEATURES,
+    price_tensor,
+    price_tensor_batch,
+    sdp_state,
+    sdp_state_batch,
+)
+from .portfolio import PortfolioEnv, StepResult
+from .pvm import PortfolioVectorMemory
+from .sampling import DEFAULT_GEOMETRIC_BIAS, GeometricBatchSampler
+
+__all__ = [
+    "DEFAULT_COMMISSION",
+    "DEFAULT_GEOMETRIC_BIAS",
+    "GeometricBatchSampler",
+    "ObservationConfig",
+    "PRICE_FEATURES",
+    "PortfolioEnv",
+    "PortfolioVectorMemory",
+    "StepResult",
+    "drifted_weights",
+    "price_tensor",
+    "price_tensor_batch",
+    "sdp_state",
+    "sdp_state_batch",
+    "transaction_remainder_approx",
+    "transaction_remainder_exact",
+]

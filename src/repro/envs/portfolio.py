@@ -1,0 +1,211 @@
+"""The portfolio-management environment (§II.A of the paper).
+
+``PortfolioEnv`` steps through a :class:`~repro.data.market.MarketData`
+panel: at each decision period the agent supplies portfolio weights
+``w_t`` (cash first, then the M assets); the environment charges the
+transaction remainder factor μ_t for rebalancing away from the drifted
+previous weights, applies the next period's price relatives ``y_{t+1}``
+and returns the log-return reward ``r_t = ln(μ_t · y_{t+1} · w_t)``
+whose average is the objective of eq. (1).
+
+The environment is agnostic to the agent type: the SDP agent, the Jiang
+EIIE agent, and every classical baseline are all back-tested through
+this same loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.market import MarketData
+from .costs import (
+    DEFAULT_COMMISSION,
+    drifted_weights,
+    transaction_remainder_exact,
+)
+from .observations import ObservationConfig
+
+
+@dataclass
+class StepResult:
+    """Outcome of one environment step."""
+
+    reward: float
+    portfolio_value: float
+    mu: float
+    price_relatives: np.ndarray
+    done: bool
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class PortfolioEnv:
+    """Sequential portfolio-rebalancing environment.
+
+    Parameters
+    ----------
+    data:
+        OHLCV panel; asset columns are traded, plus an implicit cash
+        asset at weight index 0 with constant price.
+    observation:
+        Window/feature configuration shared with the agents.
+    commission:
+        Per-side commission rate for the exact μ_t computation.
+    initial_value:
+        Starting portfolio value p_0.
+
+    Timeline
+    --------
+    ``reset()`` places the cursor at the first decision index with a
+    full observation window.  ``step(w)`` charges costs at the cursor's
+    close, applies the cursor→cursor+1 price move, advances the cursor,
+    and is ``done`` when no further price relative exists.
+    """
+
+    def __init__(
+        self,
+        data: MarketData,
+        observation: Optional[ObservationConfig] = None,
+        commission: float = DEFAULT_COMMISSION,
+        initial_value: float = 1.0,
+    ):
+        if initial_value <= 0:
+            raise ValueError("initial_value must be positive")
+        self.data = data
+        self.observation = observation if observation is not None else ObservationConfig()
+        self.commission = float(commission)
+        self.initial_value = float(initial_value)
+        first = self.observation.first_decision_index()
+        if first >= data.n_periods - 1:
+            raise ValueError(
+                f"panel too short: {data.n_periods} periods for window "
+                f"{self.observation.window}"
+            )
+        self._first_decision = first
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_assets(self) -> int:
+        return self.data.n_assets
+
+    @property
+    def action_dim(self) -> int:
+        """N = M + 1: cash plus assets."""
+        return self.data.n_assets + 1
+
+    @property
+    def t(self) -> int:
+        """Current decision index into the panel."""
+        return self._t
+
+    @property
+    def num_decisions(self) -> int:
+        """Total decision steps in one episode over this panel."""
+        return (self.data.n_periods - 1) - self._first_decision
+
+    def uniform_weights(self) -> np.ndarray:
+        return np.full(self.action_dim, 1.0 / self.action_dim)
+
+    def cash_weights(self) -> np.ndarray:
+        w = np.zeros(self.action_dim)
+        w[0] = 1.0
+        return w
+
+    # ------------------------------------------------------------------
+    def reset(self) -> int:
+        """Start a new episode; returns the first decision index."""
+        self._t = self._first_decision
+        self._value = self.initial_value
+        self._w_drifted = self.cash_weights()  # start fully in cash
+        self._w_prev_target = self.cash_weights()
+        self.value_history: List[float] = [self._value]
+        self.reward_history: List[float] = []
+        self.weight_history: List[np.ndarray] = []
+        self.mu_history: List[float] = []
+        return self._t
+
+    # ------------------------------------------------------------------
+    def price_relative(self, t: int) -> np.ndarray:
+        """y_{t+1} including the cash component (index 0, always 1)."""
+        if t + 1 >= self.data.n_periods:
+            raise IndexError(f"no price relative beyond period {t}")
+        rel = self.data.close[t + 1] / self.data.close[t]
+        return np.concatenate([[1.0], rel])
+
+    @property
+    def previous_weights(self) -> np.ndarray:
+        """w_{t−1}: the target weights chosen at the previous decision."""
+        return self._w_prev_target.copy()
+
+    @property
+    def drifted_weights(self) -> np.ndarray:
+        """w'_t: previous target drifted by realised price moves."""
+        return self._w_drifted.copy()
+
+    @property
+    def portfolio_value(self) -> float:
+        return self._value
+
+    # ------------------------------------------------------------------
+    def step(self, action: np.ndarray) -> StepResult:
+        """Rebalance to ``action`` and advance one period.
+
+        ``action`` must be a length-``action_dim`` vector on the
+        probability simplex (cash first).
+        """
+        action = np.asarray(action, dtype=np.float64)
+        if action.shape != (self.action_dim,):
+            raise ValueError(
+                f"action must have shape ({self.action_dim},), got {action.shape}"
+            )
+        if np.any(action < -1e-9):
+            raise ValueError("action weights must be non-negative")
+        total = action.sum()
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"action must sum to 1, sums to {total:.8f}")
+        action = np.clip(action, 0.0, None)
+        action = action / action.sum()
+        if self._t + 1 >= self.data.n_periods:
+            raise RuntimeError("episode finished; call reset()")
+
+        mu = transaction_remainder_exact(
+            self._w_drifted, action, self.commission, self.commission
+        )
+        y = self.price_relative(self._t)
+        growth = float(y @ action)
+        reward = float(np.log(mu * growth))
+
+        self._value *= mu * growth
+        self._w_drifted = drifted_weights(action, y)
+        self._w_prev_target = action.copy()
+        self._t += 1
+
+        self.value_history.append(self._value)
+        self.reward_history.append(reward)
+        self.weight_history.append(action.copy())
+        self.mu_history.append(mu)
+
+        done = self._t + 1 >= self.data.n_periods
+        return StepResult(
+            reward=reward,
+            portfolio_value=self._value,
+            mu=mu,
+            price_relatives=y,
+            done=done,
+            info={"growth": growth, "turnover": float(np.abs(action - self._w_drifted).sum())},
+        )
+
+    # ------------------------------------------------------------------
+    def average_log_return(self) -> float:
+        """The objective of eq. (1): R = (1/t_f) Σ r_t."""
+        if not self.reward_history:
+            return 0.0
+        return float(np.mean(self.reward_history))
+
+    def periodic_returns(self) -> np.ndarray:
+        """Simple per-period portfolio returns (for Sharpe, eq. (16))."""
+        values = np.asarray(self.value_history)
+        return values[1:] / values[:-1] - 1.0

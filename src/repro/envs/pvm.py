@@ -1,0 +1,57 @@
+"""Portfolio-Vector Memory (PVM).
+
+Jiang et al.'s training trick, adopted by the paper ("The DRL method
+uses reply memory to evaluate policies to overcome forgetfulness"):
+the network's output weights at every training period are cached so
+that, when a minibatch revisits period ``t``, the state's ``w_{t−1}``
+component and the transaction-cost term use the *latest* policy's
+weights rather than stale on-policy rollouts.  The memory is initialised
+to uniform weights.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class PortfolioVectorMemory:
+    """Per-period cache of portfolio weight vectors (cash included)."""
+
+    def __init__(self, n_periods: int, n_assets: int):
+        if n_periods <= 0 or n_assets <= 0:
+            raise ValueError("n_periods and n_assets must be positive")
+        self.n_periods = n_periods
+        self.n_assets = n_assets
+        # Uniform initialisation over assets + cash.
+        self._memory = np.full(
+            (n_periods, n_assets + 1), 1.0 / (n_assets + 1), dtype=np.float64
+        )
+
+    def read(self, indices: Sequence[int]) -> np.ndarray:
+        """Weights at ``indices``; shape (len(indices), n_assets + 1)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self.n_periods):
+            raise IndexError("PVM read out of range")
+        return self._memory[idx].copy()
+
+    def write(self, indices: Sequence[int], weights: np.ndarray) -> None:
+        """Store ``weights`` (rows on the simplex) at ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (idx.shape[0], self.n_assets + 1):
+            raise ValueError(
+                f"expected weights of shape ({idx.shape[0]}, "
+                f"{self.n_assets + 1}), got {weights.shape}"
+            )
+        if np.any(idx < 0) or np.any(idx >= self.n_periods):
+            raise IndexError("PVM write out of range")
+        sums = weights.sum(axis=1)
+        if np.any(np.abs(sums - 1.0) > 1e-6) or np.any(weights < -1e-9):
+            raise ValueError("PVM rows must lie on the probability simplex")
+        self._memory[idx] = weights
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full memory (diagnostics/tests)."""
+        return self._memory.copy()

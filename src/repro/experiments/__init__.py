@@ -1,0 +1,45 @@
+"""Experiment harness: Table 1/2 configs, end-to-end runners, table rendering."""
+
+from .config import (
+    PAPER_HYPERPARAMETERS,
+    ExperimentConfig,
+    available_profiles,
+    make_config,
+)
+from .runner import (
+    ExperimentData,
+    ExperimentResult,
+    PowerComparison,
+    build_experiment_data,
+    run_experiment,
+    run_power_comparison,
+    train_drl_agent,
+    train_sdp_agent,
+)
+from .tables import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    render_table3,
+    render_table4,
+    summarize_shape_check,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentData",
+    "ExperimentResult",
+    "PAPER_HYPERPARAMETERS",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PowerComparison",
+    "available_profiles",
+    "build_experiment_data",
+    "make_config",
+    "render_table3",
+    "render_table4",
+    "run_experiment",
+    "run_power_comparison",
+    "summarize_shape_check",
+    "train_drl_agent",
+    "train_sdp_agent",
+]

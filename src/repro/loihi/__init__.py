@@ -1,0 +1,48 @@
+"""Loihi substrate: eq. (14) quantization, fixed-point core simulation,
+energy/latency device models (Table 4), and the deployment pipeline
+(Fig. 2)."""
+
+from .core import ChipActivity, LoihiCoreSimulator
+from .deploy import AgreementReport, LoihiDeployment, deploy
+from .energy import (
+    EnergyReport,
+    LoihiDeviceModel,
+    VonNeumannDeviceModel,
+    energy_reduction_ratio,
+    paper_cpu_model,
+    paper_gpu_model,
+    paper_loihi_model,
+)
+from .quantize import (
+    DECAY_SCALE,
+    LoihiSpec,
+    PlacementReport,
+    QuantizedLayer,
+    QuantizedNetwork,
+    placement,
+    quantize_layer,
+    quantize_network,
+)
+
+__all__ = [
+    "AgreementReport",
+    "ChipActivity",
+    "DECAY_SCALE",
+    "EnergyReport",
+    "LoihiCoreSimulator",
+    "LoihiDeployment",
+    "LoihiDeviceModel",
+    "LoihiSpec",
+    "PlacementReport",
+    "QuantizedLayer",
+    "QuantizedNetwork",
+    "VonNeumannDeviceModel",
+    "deploy",
+    "energy_reduction_ratio",
+    "paper_cpu_model",
+    "paper_gpu_model",
+    "paper_loihi_model",
+    "placement",
+    "quantize_layer",
+    "quantize_network",
+]

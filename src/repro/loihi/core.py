@@ -1,0 +1,177 @@
+"""Behavioural fixed-point simulator of the neuromorphic chip.
+
+Executes a :class:`~repro.loihi.quantize.QuantizedNetwork` with pure
+integer arithmetic, mirroring Loihi's compartment dynamics:
+
+* synaptic current: ``c ← (c · dc) >> 12  +  W_int · spikes + b_int``
+* membrane voltage: ``v ← ((v · dv) >> 12) · (1 − o_prev) + c``
+* spike: ``o = 1[v > vth_int]`` with hard reset via the ``(1−o)`` gate
+
+which is the integer image of Algorithm 1's float dynamics under the
+eq. (14) rescale.  The simulator also counts spike and synaptic-op
+events, which drive the energy model of :mod:`repro.loihi.energy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..snn.encoding import PopulationEncoder
+from ..snn.network import ActivityRecord
+from .quantize import DECAY_SCALE_BITS, QuantizedNetwork
+
+
+@dataclass
+class ChipActivity:
+    """Event counts of one on-chip inference batch."""
+
+    timesteps: int
+    batch_size: int
+    input_spikes: float
+    layer_spikes: List[float]
+    synaptic_ops: List[float]
+    neuron_updates: List[float]
+
+    def to_activity_record(self) -> ActivityRecord:
+        return ActivityRecord(
+            timesteps=self.timesteps,
+            batch_size=self.batch_size,
+            input_spikes=self.input_spikes,
+            layer_spikes=list(self.layer_spikes),
+            synaptic_ops=list(self.synaptic_ops),
+            neuron_updates=list(self.neuron_updates),
+        )
+
+
+class LoihiCoreSimulator:
+    """Integer-dynamics executor for a quantized SDP network.
+
+    Parameters
+    ----------
+    network:
+        The eq.-(14)-quantized network.
+    encoder:
+        The float population encoder (runs on the embedded host; its
+        output spikes are injected into the chip).
+    """
+
+    def __init__(self, network: QuantizedNetwork, encoder: PopulationEncoder):
+        self.network = network
+        self.encoder = encoder
+        expected = network.layers[0].in_features
+        if encoder.config.num_neurons != expected:
+            raise ValueError(
+                f"encoder emits {encoder.config.num_neurons} spike lines, "
+                f"first layer expects {expected}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, states: np.ndarray, timesteps: Optional[int] = None
+    ) -> Tuple[np.ndarray, ChipActivity]:
+        """Execute inference; returns (actions, event counts).
+
+        ``states``: (batch, state_dim) float observations.
+        """
+        timesteps = timesteps if timesteps is not None else self.network.timesteps
+        states = np.asarray(states, dtype=np.float64)
+        n_assets = None
+        if self.network.kind == "shared":
+            # Shared scorer: states are (batch, assets, features); every
+            # asset runs through the same chip cores.
+            if states.ndim == 2:
+                states = states[None]
+            if states.ndim != 3:
+                raise ValueError(
+                    "shared networks expect (batch, assets, features) states"
+                )
+            outer_batch, n_assets, d = states.shape
+            states = states.reshape(outer_batch * n_assets, d)
+        else:
+            states = np.atleast_2d(states)
+        batch = states.shape[0]
+        spike_trains = self.encoder.encode(states, timesteps)
+
+        layers = self.network.layers
+        currents = [np.zeros((batch, l.out_features), dtype=np.int64) for l in layers]
+        voltages = [np.zeros((batch, l.out_features), dtype=np.int64) for l in layers]
+        prev_spikes = [np.zeros((batch, l.out_features), dtype=np.int64) for l in layers]
+
+        sum_out = np.zeros((batch, layers[-1].out_features), dtype=np.int64)
+        layer_spikes = [0.0] * len(layers)
+        synaptic_ops = [0.0] * len(layers)
+        input_total = 0.0
+
+        for t in range(timesteps):
+            spikes = spike_trains[t].astype(np.int64)
+            input_total += float(spikes.sum())
+            for k, layer in enumerate(layers):
+                synaptic_ops[k] += float(spikes.sum()) * layer.out_features
+                drive = spikes @ layer.weight.T.astype(np.int64) + layer.bias
+                currents[k] = (
+                    (currents[k] * layer.current_decay) >> DECAY_SCALE_BITS
+                ) + drive
+                decayed = (voltages[k] * layer.voltage_decay) >> DECAY_SCALE_BITS
+                voltages[k] = decayed * (1 - prev_spikes[k]) + currents[k]
+                spikes = (voltages[k] > layer.v_threshold).astype(np.int64)
+                prev_spikes[k] = spikes
+                layer_spikes[k] += float(spikes.sum())
+            sum_out += spikes
+
+        if self.network.kind == "shared":
+            actions = self._decode_shared(sum_out, timesteps, n_assets)
+            batch = batch // n_assets  # one inference covers all assets
+        else:
+            actions = self._decode(sum_out, timesteps)
+        activity = ChipActivity(
+            timesteps=timesteps,
+            batch_size=batch,
+            input_spikes=input_total,
+            layer_spikes=layer_spikes,
+            synaptic_ops=synaptic_ops,
+            neuron_updates=[
+                float(l.out_features * timesteps * batch) for l in layers
+            ],
+        )
+        return actions, activity
+
+    # ------------------------------------------------------------------
+    def _decode(self, sum_spikes: np.ndarray, timesteps: int) -> np.ndarray:
+        """Float read-out (eqs. (8)-(10)), executed on the host."""
+        w = self.network.decoder_weight  # (N, P)
+        b = self.network.decoder_bias
+        n_actions, pop = w.shape
+        rates = sum_spikes.astype(np.float64) / timesteps
+        rates = rates.reshape(rates.shape[0], n_actions, pop)
+        logits = (rates * w[None]).sum(axis=2) + b
+        logits -= logits.max(axis=1, keepdims=True)
+        temp = np.exp(logits)
+        return temp / temp.sum(axis=1, keepdims=True)
+
+    def _decode_shared(
+        self, sum_spikes: np.ndarray, timesteps: int, n_assets: int
+    ) -> np.ndarray:
+        """Shared read-out: scalar score per asset, cash bias, softmax."""
+        w = self.network.decoder_weight[0]  # (P,)
+        b = float(self.network.decoder_bias[0])
+        rates = sum_spikes.astype(np.float64) / timesteps
+        scores = rates @ w + b  # (B*A,)
+        scores = scores.reshape(-1, n_assets)
+        logits = np.concatenate(
+            [np.full((scores.shape[0], 1), self.network.cash_bias), scores],
+            axis=1,
+        )
+        logits -= logits.max(axis=1, keepdims=True)
+        temp = np.exp(logits)
+        return temp / temp.sum(axis=1, keepdims=True)
+
+    def act(self, state: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
+        """Single-state convenience wrapper."""
+        if self.network.kind == "shared":
+            actions, _ = self.run(np.asarray(state)[None], timesteps)
+        else:
+            actions, _ = self.run(np.atleast_2d(state), timesteps)
+        return actions[0]

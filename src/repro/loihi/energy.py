@@ -1,0 +1,215 @@
+"""Power, energy, and latency models for Table 4.
+
+The paper measures power with onboard sensors (powerstat for the
+Core i7-7500 CPU, nvidia-smi for the Tesla K80 GPU, an energy probe for
+Loihi) and reports idle watts, dynamic watts, inferences per second, and
+energy per inference.  Without the physical devices we model each one
+explicitly:
+
+* **Loihi** — event-driven: dynamic energy = Σ events × per-event
+  energy, with per-event figures from the published Loihi
+  characterisation (Davies et al., IEEE Micro 2018): ≈23.6 pJ per
+  synaptic operation, ≈81 pJ per neuron compartment update, ≈1.7 nJ for
+  injecting a spike from the host.  Latency = per-algorithmic-timestep
+  barrier time × T plus host I/O.
+* **CPU/GPU** — clock-driven: dynamic energy = dynamic power ×
+  inference time; inference time = MACs / effective throughput + a
+  per-inference host/framework overhead (which dominates at this model
+  size, matching the ≈1–2 inf/s of Table 4).
+
+Idle/dynamic watts default to the paper's measured values, so the
+reproduction shares Table 4's operating points and differs only where
+the paper's arithmetic is internally inconsistent (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..snn.network import ActivityRecord
+
+# Published Loihi per-event energies (Davies et al. 2018), joules.
+SYNOP_ENERGY_J = 23.6e-12
+NEURON_UPDATE_ENERGY_J = 81.0e-12
+SPIKE_INJECTION_ENERGY_J = 1.7e-9
+# Per-algorithmic-timestep wall time on Loihi for a network of this
+# size (barrier-synchronised), seconds.
+TIMESTEP_TIME_S = 8.0e-6
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Power/latency summary of one (device, workload) pair: a Table 4 row."""
+
+    device: str
+    idle_power_w: float
+    dynamic_power_w: float
+    inferences_per_s: float
+    energy_per_inference_j: float
+
+    @property
+    def nj_per_inference(self) -> float:
+        """Dynamic energy per inference in nanojoules (Table 4's column)."""
+        return self.energy_per_inference_j * 1e9
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "Idle(W)": self.idle_power_w,
+            "Dyn(W)": self.dynamic_power_w,
+            "Inf/s": self.inferences_per_s,
+            "nJ/Inf": self.nj_per_inference,
+        }
+
+
+@dataclass(frozen=True)
+class LoihiDeviceModel:
+    """Event-driven energy/latency model of the Loihi chip.
+
+    ``idle_power_w`` defaults to the paper's measured 1.01 W (whole
+    board).  ``host_io_s`` is the per-inference host↔chip round trip,
+    calibrated so throughput matches Table 4's ≈1 inf/s at T=5 (the
+    pipeline, not the chip, is the bottleneck at this model size).
+    """
+
+    idle_power_w: float = 1.01
+    synop_energy_j: float = SYNOP_ENERGY_J
+    neuron_update_energy_j: float = NEURON_UPDATE_ENERGY_J
+    spike_injection_energy_j: float = SPIKE_INJECTION_ENERGY_J
+    timestep_time_s: float = TIMESTEP_TIME_S
+    host_io_s: float = 0.96
+
+    def dynamic_energy_per_inference(self, activity: ActivityRecord) -> float:
+        """Joules of event-driven work for one inference."""
+        per_inf = activity.per_inference()
+        return (
+            per_inf.total_synops * self.synop_energy_j
+            + per_inf.total_neuron_updates * self.neuron_update_energy_j
+            + per_inf.input_spikes * self.spike_injection_energy_j
+        )
+
+    def inference_time_s(self, timesteps: int) -> float:
+        return self.host_io_s + timesteps * self.timestep_time_s
+
+    def report(self, activity: ActivityRecord, name: str = "Loihi") -> EnergyReport:
+        energy = self.dynamic_energy_per_inference(activity)
+        t_inf = self.inference_time_s(activity.timesteps)
+        return EnergyReport(
+            device=name,
+            idle_power_w=self.idle_power_w,
+            dynamic_power_w=energy / t_inf,
+            inferences_per_s=1.0 / t_inf,
+            energy_per_inference_j=energy,
+        )
+
+
+@dataclass(frozen=True)
+class VonNeumannDeviceModel:
+    """Clock-driven CPU/GPU model.
+
+    ``effective_macs_per_s`` is sustained throughput on this workload
+    (small batch-1 model → far below peak).  ``overhead_s`` is the
+    per-inference framework/data-pipeline time that dominates the ≈1–2
+    inf/s of Table 4.
+    """
+
+    name: str
+    idle_power_w: float
+    dynamic_power_w: float
+    effective_macs_per_s: float
+    overhead_s: float
+
+    def __post_init__(self):
+        if self.effective_macs_per_s <= 0:
+            raise ValueError("effective_macs_per_s must be positive")
+        if self.overhead_s < 0:
+            raise ValueError("overhead_s must be non-negative")
+
+    def inference_time_s(self, macs: int) -> float:
+        return self.overhead_s + macs / self.effective_macs_per_s
+
+    def compute_time_s(self, macs: int) -> float:
+        """Time the device is actually busy computing (energy-relevant)."""
+        return macs / self.effective_macs_per_s
+
+    def report(self, macs: int) -> EnergyReport:
+        """Table 4 row for this device.
+
+        Energy per inference is *dynamic compute* energy — dynamic power
+        times busy time — matching the paper's energy-cost-per-inference
+        methodology ("dividing the energy consumed per second by the
+        number of inferences performed per second" at the compute rate);
+        the data-pipeline overhead affects throughput but draws idle
+        power only.
+        """
+        t_inf = self.inference_time_s(macs)
+        return EnergyReport(
+            device=self.name,
+            idle_power_w=self.idle_power_w,
+            dynamic_power_w=self.dynamic_power_w,
+            inferences_per_s=1.0 / t_inf,
+            energy_per_inference_j=self.dynamic_power_w * self.compute_time_s(macs),
+        )
+
+
+def paper_cpu_model(experiment: int = 1) -> VonNeumannDeviceModel:
+    """Core i7-7500 at the paper's measured operating points.
+
+    Idle/dynamic watts are Table 4's per-experiment measurements;
+    overhead is calibrated to reproduce the reported inf/s.
+    """
+    measured = {
+        1: (7.98, 24.02, 2.09),
+        2: (9.09, 22.91, 1.60),
+        3: (8.69, 23.31, 2.02),
+    }
+    idle, dyn, inf_s = measured[experiment]
+    # Effective batch-1 throughput of a small CNN under a Python
+    # framework: ~1e8 MAC/s sustained (interpreter + memory bound, far
+    # below the chip's peak), consistent with the paper's measured
+    # CPU-vs-Loihi energy ratio band (≈187–243×).
+    return VonNeumannDeviceModel(
+        name="CPU (i7-7500)",
+        idle_power_w=idle,
+        dynamic_power_w=dyn,
+        effective_macs_per_s=1.2e8,
+        overhead_s=1.0 / inf_s,
+    )
+
+
+def paper_gpu_model(experiment: int = 1) -> VonNeumannDeviceModel:
+    """Tesla K80 at the paper's measured operating points."""
+    measured = {
+        1: (100.80, 29.15, 1.23),
+        2: (100.25, 29.66, 1.09),
+        3: (106.03, 24.33, 1.07),
+    }
+    idle, dyn, inf_s = measured[experiment]
+    # Batch-1 inference on a K80 is kernel-launch dominated: tens of µs
+    # per kernel across several layers leaves ~5e7 MAC/s effective —
+    # slower busy-time than the CPU for a model this small, which is
+    # exactly why Table 4's GPU energy per inference exceeds the CPU's
+    # (≈516–580× the Loihi figure).
+    return VonNeumannDeviceModel(
+        name="GPU (Tesla K80)",
+        idle_power_w=idle,
+        dynamic_power_w=dyn,
+        effective_macs_per_s=5.6e7,
+        overhead_s=1.0 / inf_s,
+    )
+
+
+def paper_loihi_model(experiment: int = 1) -> LoihiDeviceModel:
+    """Loihi at the paper's measured operating points (inf/s column)."""
+    measured_inf_s = {1: 1.04, 2: 0.82, 3: 1.01}
+    t = 1.0 / measured_inf_s[experiment]
+    return LoihiDeviceModel(host_io_s=t - 5 * TIMESTEP_TIME_S)
+
+
+def energy_reduction_ratio(
+    baseline: EnergyReport, proposed: EnergyReport
+) -> float:
+    """Paper-style "Nx less energy per inference" headline ratio."""
+    if proposed.energy_per_inference_j <= 0:
+        raise ValueError("proposed energy must be positive")
+    return baseline.energy_per_inference_j / proposed.energy_per_inference_j

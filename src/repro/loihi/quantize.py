@@ -1,0 +1,211 @@
+"""Weight/threshold rescaling onto Loihi's integer grid (eq. (14)).
+
+Loihi stores synaptic weights as 8-bit integers (sign + 7-bit mantissa
+at the default weight exponent, giving an even-valued effective range of
+±254).  Eq. (14) rescales each layer independently:
+
+.. math::
+
+    r^{(k)} = \\frac{w^{(k)(loihi)}_{max}}{w^{(k)}_{max}},\\qquad
+    w^{(k)(loihi)} = round(r^{(k)} w^{(k)}),\\qquad
+    V_{th}^{(k)(loihi)} = round(r^{(k)} V_{th})
+
+Because LIF dynamics are scale-invariant when weights, bias, and
+threshold are scaled together and spikes are binary, the per-layer
+rescale preserves behaviour up to rounding error — the property the
+round-trip tests in ``tests/test_loihi_quantize.py`` verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..snn.layers import SpikingLinear
+from ..snn.network import SDPNetwork, SharedSDPNetwork
+
+#: Decay factors on Loihi are 12-bit fixed point: factor = int / 4096.
+DECAY_SCALE_BITS = 12
+DECAY_SCALE = 1 << DECAY_SCALE_BITS
+
+
+@dataclass(frozen=True)
+class LoihiSpec:
+    """Integer formats of the simulated chip (Loihi-1 defaults).
+
+    Parameters
+    ----------
+    weight_max:
+        Largest representable synaptic weight magnitude (±254 at the
+        default weight exponent: 8-bit storage, even granularity).
+    weight_step:
+        Granularity of representable weights (2 at the default exponent).
+    neurons_per_core / synapses_per_core:
+        Capacity limits used by the placement report.
+    num_cores:
+        Neuromorphic cores per chip (128 on Loihi-1).
+    """
+
+    weight_max: int = 254
+    weight_step: int = 2
+    neurons_per_core: int = 1024
+    synapses_per_core: int = 128 * 1024
+    num_cores: int = 128
+
+    def __post_init__(self):
+        if self.weight_max <= 0 or self.weight_step <= 0:
+            raise ValueError("weight_max and weight_step must be positive")
+        if self.weight_max % self.weight_step != 0:
+            raise ValueError("weight_max must be a multiple of weight_step")
+
+
+@dataclass
+class QuantizedLayer:
+    """One spiking layer in chip format.
+
+    Integer weights/bias/threshold plus the 12-bit decay factors and the
+    rescale ratio needed to interpret chip quantities in float units.
+    """
+
+    weight: np.ndarray          # int32, (out, in)
+    bias: np.ndarray            # int32, (out,)
+    v_threshold: int
+    current_decay: int          # 12-bit fixed point
+    voltage_decay: int          # 12-bit fixed point
+    ratio: float                # r^(k) of eq. (14)
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def dequantized_weight(self) -> np.ndarray:
+        """Float weights implied by the chip integers (w / r)."""
+        return self.weight.astype(np.float64) / self.ratio
+
+
+def quantize_layer(layer: SpikingLinear, spec: Optional[LoihiSpec] = None) -> QuantizedLayer:
+    """Apply eq. (14) to one layer.
+
+    The rescale ratio maps the layer's largest |weight| onto the chip's
+    largest representable weight; rounding then snaps to the
+    ``weight_step`` grid.  Bias and threshold share the ratio so the
+    spike condition is preserved.
+    """
+    spec = spec if spec is not None else LoihiSpec()
+    w = layer.weight.data
+    w_max = float(np.abs(w).max())
+    if w_max == 0.0:
+        ratio = 1.0
+    else:
+        ratio = spec.weight_max / w_max
+    step = spec.weight_step
+    w_int = np.round(ratio * w / step).astype(np.int64) * step
+    w_int = np.clip(w_int, -spec.weight_max, spec.weight_max).astype(np.int32)
+    b_int = np.round(ratio * layer.bias.data).astype(np.int32)
+    vth_int = int(round(ratio * layer.lif.v_threshold))
+    if vth_int <= 0:
+        raise ValueError(
+            "quantized threshold collapsed to zero; weights are too small "
+            "relative to the threshold for 8-bit mapping"
+        )
+    return QuantizedLayer(
+        weight=w_int,
+        bias=b_int,
+        v_threshold=vth_int,
+        current_decay=int(round(layer.lif.current_decay * DECAY_SCALE)),
+        voltage_decay=int(round(layer.lif.voltage_decay * DECAY_SCALE)),
+        ratio=ratio,
+    )
+
+
+@dataclass
+class QuantizedNetwork:
+    """Chip-format SDP: quantized layers + float encoder/decoder params.
+
+    Encoding happens off-chip (the embedded host injects input spikes)
+    and the rate decoder is a read-out, so both stay in float — exactly
+    the Loihi deployment split of Tang et al. / the paper's Fig. 2.
+
+    ``kind`` selects the read-out semantics: ``"population"`` for the
+    monolithic Algorithm-1 network (N populations → softmax), or
+    ``"shared"`` for the weight-shared per-asset scorer (scalar score
+    per asset + cash bias → softmax across assets).
+    """
+
+    layers: List[QuantizedLayer]
+    decoder_weight: np.ndarray
+    decoder_bias: np.ndarray
+    timesteps: int
+    kind: str = "population"
+    cash_bias: float = 0.0
+
+    @property
+    def num_neurons(self) -> int:
+        return sum(layer.out_features for layer in self.layers)
+
+    @property
+    def num_synapses(self) -> int:
+        return sum(layer.weight.size for layer in self.layers)
+
+
+def quantize_network(network, spec: Optional[LoihiSpec] = None) -> QuantizedNetwork:
+    """Quantize every spiking layer of an SDP network (eq. (14)).
+
+    Accepts either :class:`~repro.snn.network.SDPNetwork` or
+    :class:`~repro.snn.network.SharedSDPNetwork`.
+    """
+    spec = spec if spec is not None else LoihiSpec()
+    layers = [quantize_layer(layer, spec) for layer in network.stack.layers]
+    if isinstance(network, SharedSDPNetwork):
+        return QuantizedNetwork(
+            layers=layers,
+            decoder_weight=network.readout_weight.data.copy()[None, :],
+            decoder_bias=network.readout_bias.data.copy(),
+            timesteps=network.config.timesteps,
+            kind="shared",
+            cash_bias=float(network.cash_bias.data[0]),
+        )
+    if isinstance(network, SDPNetwork):
+        return QuantizedNetwork(
+            layers=layers,
+            decoder_weight=network.decoder.weight.data.copy(),
+            decoder_bias=network.decoder.bias.data.copy(),
+            timesteps=network.config.timesteps,
+            kind="population",
+        )
+    raise TypeError(f"cannot quantize network of type {type(network).__name__}")
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """How the network maps onto chip cores (capacity accounting)."""
+
+    cores_used: int
+    neurons: int
+    synapses: int
+    neuron_utilization: float
+    synapse_utilization: float
+
+    def fits(self) -> bool:
+        return self.neuron_utilization <= 1.0 and self.synapse_utilization <= 1.0
+
+
+def placement(net: QuantizedNetwork, spec: Optional[LoihiSpec] = None) -> PlacementReport:
+    """Greedy capacity check: cores needed for neurons and synapses."""
+    spec = spec if spec is not None else LoihiSpec()
+    neuron_cores = int(np.ceil(net.num_neurons / spec.neurons_per_core))
+    synapse_cores = int(np.ceil(net.num_synapses / spec.synapses_per_core))
+    cores = max(neuron_cores, synapse_cores, 1)
+    return PlacementReport(
+        cores_used=cores,
+        neurons=net.num_neurons,
+        synapses=net.num_synapses,
+        neuron_utilization=net.num_neurons / (spec.num_cores * spec.neurons_per_core),
+        synapse_utilization=net.num_synapses / (spec.num_cores * spec.synapses_per_core),
+    )

@@ -1,0 +1,29 @@
+"""Performance metrics: fAPV, Sharpe, MDD (eqs. (15)–(17)) and companions."""
+
+from .performance import (
+    BacktestMetrics,
+    annualized_volatility,
+    calmar_ratio,
+    evaluate_backtest,
+    final_apv,
+    hit_rate,
+    max_drawdown,
+    periodic_returns,
+    sharpe_ratio,
+    sortino_ratio,
+    turnover,
+)
+
+__all__ = [
+    "BacktestMetrics",
+    "annualized_volatility",
+    "calmar_ratio",
+    "evaluate_backtest",
+    "final_apv",
+    "hit_rate",
+    "max_drawdown",
+    "periodic_returns",
+    "sharpe_ratio",
+    "sortino_ratio",
+    "turnover",
+]

@@ -1,0 +1,170 @@
+"""Population coding of continuous states into spike trains (eqs. (2)-(4)).
+
+Each dimension of the M-dimensional state is represented by a population
+of ``pop_size`` neurons with Gaussian receptive fields.  Receptive-field
+means are evenly spaced over the (configurable) state range and the
+shared standard deviation keeps "non-zero population activity in all
+state spaces" (paper §II.B).
+
+Two spike-generation modes are implemented:
+
+* ``deterministic`` — one-step soft-reset LIF accumulators driven by the
+  stimulation strength (eqs. (3)-(4)); this is the mode the paper
+  deploys on Loihi.
+* ``probabilistic`` — Bernoulli spikes with per-step probability equal
+  to the stimulation strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+DEFAULT_POP_SIZE = 10
+DEFAULT_EPSILON = 1e-3
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Configuration of the Gaussian population encoder.
+
+    Parameters
+    ----------
+    state_dim:
+        Number of continuous state dimensions (M).
+    pop_size:
+        Neurons per dimension; total encoder neurons = M · pop_size.
+    v_min, v_max:
+        State-space range covered by the receptive-field means μ.  States
+        are expected (but not required) to lie inside; values outside
+        still stimulate the nearest population tails.
+    sigma_scale:
+        σ as a multiple of the spacing between adjacent means, chosen so
+        adjacent receptive fields overlap (population activity is nowhere
+        zero).
+    epsilon:
+        Soft-reset constant ε of eq. (4): threshold is ``1 − ε``.
+    mode:
+        ``"deterministic"`` or ``"probabilistic"``.
+    """
+
+    state_dim: int
+    pop_size: int = DEFAULT_POP_SIZE
+    v_min: float = -1.0
+    v_max: float = 1.0
+    sigma_scale: float = 0.5
+    epsilon: float = DEFAULT_EPSILON
+    mode: str = "deterministic"
+
+    def __post_init__(self):
+        if self.state_dim <= 0:
+            raise ValueError(f"state_dim must be positive, got {self.state_dim}")
+        if self.pop_size < 2:
+            raise ValueError(f"pop_size must be >= 2, got {self.pop_size}")
+        if self.v_max <= self.v_min:
+            raise ValueError(
+                f"invalid state range [{self.v_min}, {self.v_max}]"
+            )
+        if self.mode not in ("deterministic", "probabilistic"):
+            raise ValueError(f"unknown encoding mode {self.mode!r}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+
+    @property
+    def num_neurons(self) -> int:
+        return self.state_dim * self.pop_size
+
+
+class PopulationEncoder:
+    """Gaussian receptive-field population encoder.
+
+    The encoder is stateless across calls: each :meth:`encode` starts
+    with zero accumulator voltages, matching the per-inference reset of
+    Algorithm 1.
+    """
+
+    def __init__(
+        self, config: EncoderConfig, rng: Optional[np.random.Generator] = None
+    ):
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        spacing = (config.v_max - config.v_min) / (config.pop_size - 1)
+        # Evenly spaced means over the state range (paper: "μ equals the
+        # equal distribution of state space").
+        self.means = np.linspace(config.v_min, config.v_max, config.pop_size)
+        self.sigma = config.sigma_scale * spacing
+
+    # ------------------------------------------------------------------
+    def stimulation(self, states: np.ndarray) -> np.ndarray:
+        """Stimulation strength A_E of eq. (2) for a batch of states.
+
+        Parameters
+        ----------
+        states:
+            Array of shape ``(batch, state_dim)``.
+
+        Returns
+        -------
+        Array of shape ``(batch, state_dim * pop_size)`` with values in
+        (0, 1].
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim == 1:
+            states = states[None, :]
+        if states.shape[1] != self.config.state_dim:
+            raise ValueError(
+                f"expected state_dim={self.config.state_dim}, "
+                f"got states of shape {states.shape}"
+            )
+        # (B, M, 1) vs (P,) -> (B, M, P)
+        z = (states[:, :, None] - self.means[None, None, :]) / self.sigma
+        activation = np.exp(-0.5 * z * z)
+        return activation.reshape(states.shape[0], -1)
+
+    # ------------------------------------------------------------------
+    def encode(self, states: np.ndarray, timesteps: int) -> np.ndarray:
+        """Generate spike trains for ``timesteps`` steps.
+
+        Returns an array of shape ``(timesteps, batch, num_neurons)``
+        with entries in {0, 1}.
+        """
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        drive = self.stimulation(states)
+        if self.config.mode == "deterministic":
+            return self._encode_deterministic(drive, timesteps)
+        return self._encode_probabilistic(drive, timesteps)
+
+    def _encode_deterministic(self, drive: np.ndarray, timesteps: int) -> np.ndarray:
+        """One-step soft-reset LIF accumulators (eqs. (3)-(4))."""
+        threshold = 1.0 - self.config.epsilon
+        voltage = np.zeros_like(drive)
+        spikes = np.empty((timesteps,) + drive.shape, dtype=np.float64)
+        for t in range(timesteps):
+            voltage = voltage + drive  # eq. (3): no leak
+            fired = voltage > threshold
+            spikes[t] = fired
+            voltage = np.where(fired, voltage - threshold, voltage)  # eq. (4)
+        return spikes
+
+    def _encode_probabilistic(self, drive: np.ndarray, timesteps: int) -> np.ndarray:
+        """Bernoulli spikes with per-step probability A_E."""
+        probs = np.clip(drive, 0.0, 1.0)
+        draws = self._rng.random((timesteps,) + probs.shape)
+        return (draws < probs).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def expected_rate(self, states: np.ndarray) -> np.ndarray:
+        """Long-run firing rate per neuron for a batch of states.
+
+        For deterministic encoding the asymptotic rate is
+        ``A_E / (1 − ε)`` (clipped to 1); for probabilistic it is
+        ``A_E`` itself.  Useful as a test oracle and for encoder
+        visualisation.
+        """
+        drive = self.stimulation(states)
+        if self.config.mode == "deterministic":
+            return np.minimum(drive / (1.0 - self.config.epsilon), 1.0)
+        return np.clip(drive, 0.0, 1.0)

@@ -1,0 +1,130 @@
+"""Leaky-Integrate-and-Fire neuron dynamics (eqs. (5)-(7) / Algorithm 1).
+
+The paper's SDP uses *two-state* current-based LIF neurons: synaptic
+current ``c`` decays with factor ``dc`` and integrates weighted input
+spikes (eq. (5)); membrane voltage ``v`` decays with factor ``dv``,
+is hard-reset by the previous spike (Algorithm 1's ``v·(1−o)`` gating),
+and integrates the current (eq. (6)).  A spike is emitted when the
+voltage crosses ``V_th`` (eq. (7)); the reset to 0 is implemented by the
+``(1−o)`` gate at the next step so gradients can flow through the
+surrogate at the threshold crossing.
+
+All functions are differentiable through :mod:`repro.autograd`, with the
+Heaviside spike replaced by a surrogate gradient from
+:mod:`repro.snn.surrogate` on the backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, custom_op
+from .surrogate import SurrogateGradient, rectangular
+
+# Paper defaults (Table 2): Vth, dc, dv = 0.5, 0.5, 0.80
+DEFAULT_V_THRESHOLD = 0.5
+DEFAULT_CURRENT_DECAY = 0.5
+DEFAULT_VOLTAGE_DECAY = 0.80
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Hyper-parameters of a two-state LIF population (Table 2 defaults)."""
+
+    v_threshold: float = DEFAULT_V_THRESHOLD
+    current_decay: float = DEFAULT_CURRENT_DECAY
+    voltage_decay: float = DEFAULT_VOLTAGE_DECAY
+
+    def __post_init__(self):
+        if self.v_threshold <= 0:
+            raise ValueError(f"v_threshold must be positive, got {self.v_threshold}")
+        for name, value in (
+            ("current_decay", self.current_decay),
+            ("voltage_decay", self.voltage_decay),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class LIFState:
+    """Mutable per-unroll state of a LIF population.
+
+    Attributes hold autograd tensors so BPTT can traverse the whole
+    unrolled time dimension (STBP).
+    """
+
+    current: Tensor
+    voltage: Tensor
+    spikes: Tensor
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...]) -> "LIFState":
+        return cls(
+            current=Tensor(np.zeros(shape)),
+            voltage=Tensor(np.zeros(shape)),
+            spikes=Tensor(np.zeros(shape)),
+        )
+
+
+def spike_function(
+    voltage: Tensor,
+    v_threshold: float,
+    surrogate: Optional[SurrogateGradient] = None,
+) -> Tensor:
+    """Heaviside spike with surrogate gradient.
+
+    Forward: ``o = 1[v > V_th]``.  Backward: ``do/dv = z(v)`` where ``z``
+    is the rectangular window of eq. (11) unless another surrogate is
+    supplied.
+    """
+    surrogate = surrogate if surrogate is not None else rectangular()
+    spikes = (voltage.data > v_threshold).astype(voltage.data.dtype)
+    pseudo = surrogate(voltage.data, v_threshold)
+
+    def backward(g: np.ndarray):
+        return (g * pseudo,)
+
+    return custom_op([voltage], spikes, backward, name="spike")
+
+
+def lif_step(
+    synaptic_input: Tensor,
+    state: LIFState,
+    params: LIFParameters,
+    surrogate: Optional[SurrogateGradient] = None,
+) -> LIFState:
+    """Advance a two-state LIF population by one timestep.
+
+    Implements Algorithm 1's inner loop::
+
+        c(t) = dc · c(t−1) + I(t)
+        v(t) = dv · v(t−1) · (1 − o(t−1)) + c(t)
+        o(t) = Threshold(v(t))
+
+    where ``I(t)`` is the already-weighted synaptic input
+    (``W o_pre + b``), computed by the calling layer.
+    """
+    current = state.current * params.current_decay + synaptic_input
+    voltage = state.voltage * params.voltage_decay * (1.0 - state.spikes) + current
+    spikes = spike_function(voltage, params.v_threshold, surrogate)
+    return LIFState(current=current, voltage=voltage, spikes=spikes)
+
+
+def integrate_and_fire_rate(
+    stimulation: np.ndarray,
+    timesteps: int,
+    epsilon: float = 1e-3,
+) -> np.ndarray:
+    """Closed-form spike count of the one-step soft-reset encoder LIF.
+
+    For the encoder neurons of eqs. (3)–(4) (no leak, soft reset by the
+    threshold ``1−ε``), the number of spikes emitted in ``T`` steps under
+    constant drive ``A_E`` is ``floor(T·A_E / (1−ε))`` up to boundary
+    effects.  Used by tests as an analytic oracle.
+    """
+    threshold = 1.0 - epsilon
+    return np.floor(timesteps * np.asarray(stimulation) / threshold + 1e-12)

@@ -1,0 +1,100 @@
+"""Surrogate (pseudo-) gradients for the non-differentiable spike function.
+
+The paper trains SDP with STBP using the *rectangular* pseudo-gradient
+(eq. (11)):
+
+.. math::
+
+    z(v) = a_1 \\; \\text{if} \\; |v - V_{th}| < a_2, \\; 0 \\; \\text{otherwise}
+
+with :math:`a_1 = 9.0` (gradient amplifier) and :math:`a_2 = 0.4`
+(gradient window), per Table 2.  Alternative surrogates are provided for
+the encoding/ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+# Paper defaults (Table 2).
+DEFAULT_AMPLIFIER = 9.0
+DEFAULT_WINDOW = 0.4
+
+
+@dataclass(frozen=True)
+class SurrogateGradient:
+    """A named surrogate gradient ``z(v)`` evaluated at membrane voltage.
+
+    ``fn(v, v_th)`` returns the pseudo-derivative of the Heaviside spike
+    with respect to ``v``.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, float], np.ndarray]
+
+    def __call__(self, v: np.ndarray, v_th: float) -> np.ndarray:
+        return self.fn(v, v_th)
+
+
+def rectangular(
+    amplifier: float = DEFAULT_AMPLIFIER, window: float = DEFAULT_WINDOW
+) -> SurrogateGradient:
+    """Rectangular window surrogate, eq. (11) of the paper."""
+    if amplifier <= 0:
+        raise ValueError(f"amplifier a1 must be positive, got {amplifier}")
+    if window <= 0:
+        raise ValueError(f"window a2 must be positive, got {window}")
+
+    def fn(v: np.ndarray, v_th: float) -> np.ndarray:
+        return amplifier * (np.abs(v - v_th) < window)
+
+    return SurrogateGradient("rectangular", fn)
+
+
+def triangular(scale: float = 1.0, width: float = 1.0) -> SurrogateGradient:
+    """Piecewise-linear 'triangle' surrogate (Bellec et al. 2018)."""
+
+    def fn(v: np.ndarray, v_th: float) -> np.ndarray:
+        return scale * np.maximum(0.0, 1.0 - np.abs(v - v_th) / width)
+
+    return SurrogateGradient("triangular", fn)
+
+
+def fast_sigmoid(slope: float = 10.0) -> SurrogateGradient:
+    """Derivative of the fast sigmoid (Zenke & Ganguli 2018)."""
+
+    def fn(v: np.ndarray, v_th: float) -> np.ndarray:
+        return 1.0 / (1.0 + slope * np.abs(v - v_th)) ** 2
+
+    return SurrogateGradient("fast_sigmoid", fn)
+
+
+def arctan(alpha: float = 2.0) -> SurrogateGradient:
+    """Derivative of a scaled arctangent (Fang et al. 2021)."""
+
+    def fn(v: np.ndarray, v_th: float) -> np.ndarray:
+        return alpha / (2.0 * (1.0 + (np.pi / 2.0 * alpha * (v - v_th)) ** 2))
+
+    return SurrogateGradient("arctan", fn)
+
+
+_REGISTRY: Dict[str, Callable[..., SurrogateGradient]] = {
+    "rectangular": rectangular,
+    "triangular": triangular,
+    "fast_sigmoid": fast_sigmoid,
+    "arctan": arctan,
+}
+
+
+def get_surrogate(name: str, **kwargs) -> SurrogateGradient:
+    """Look up a surrogate factory by name and instantiate it."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown surrogate {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG streams, ASCII tables, serialisation."""
+
+from .rng import make_rng, spawn, stable_hash
+from .serialization import load_json, load_state_dict, save_json, save_state_dict
+from .tables import format_table
+
+__all__ = [
+    "format_table",
+    "load_json",
+    "load_state_dict",
+    "make_rng",
+    "save_json",
+    "save_state_dict",
+    "spawn",
+    "stable_hash",
+]

@@ -1,0 +1,40 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the reproduction takes an explicit
+``numpy.random.Generator``.  :func:`spawn` derives independent child
+generators from a parent seed so that adding a new consumer never
+perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing generator, or fresh."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.integers(0, 2 ** 63, size=n)]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def stable_hash(text: str, modulus: int = 2 ** 31 - 1) -> int:
+    """Deterministic string hash (Python's ``hash`` is salted per process)."""
+    value = 2166136261
+    for ch in text.encode("utf-8"):
+        value = (value ^ ch) * 16777619 % (2 ** 32)
+    return value % modulus

@@ -1,0 +1,51 @@
+"""Lightweight result/model (de)serialisation.
+
+Models are saved as ``.npz`` state dicts; experiment results as JSON
+with numpy scalars coerced to Python types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(path: PathLike, state: Dict[str, np.ndarray]) -> None:
+    """Persist a module state dict to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _coerce(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _coerce(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    return value
+
+
+def save_json(path: PathLike, payload: Dict[str, Any]) -> None:
+    """Write a JSON result file, coercing numpy types."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_coerce(payload), indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print rows in the same layout as the paper's tables so the
+paper-vs-measured comparison in EXPERIMENTS.md is mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+                return f"{cell:.3e}"
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

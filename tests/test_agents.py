@@ -1,0 +1,155 @@
+"""Unit tests for the SDP and DRL[Jiang] agents and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    JiangDRLAgent,
+    PolicyTrainer,
+    SDPAgent,
+    TrainConfig,
+    run_backtest,
+)
+from repro.autograd import Tensor
+from repro.autograd.optim import Adam
+from repro.data import MarketGenerator
+from repro.envs import ObservationConfig
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return MarketGenerator(seed=29).generate(
+        "2019/01/01", "2019/03/01", 7200
+    ).select_assets([0, 1, 2, 3])
+
+
+CFG = ObservationConfig(window=6, stride=1, momentum_horizons=(1, 3, 6))
+
+
+def small_sdp(arch="shared"):
+    return SDPAgent(
+        4, observation=CFG, architecture=arch, hidden_sizes=(16, 16),
+        encoder_pop_size=4, decoder_pop_size=4, seed=1,
+    )
+
+
+class TestSDPAgent:
+    @pytest.mark.parametrize("arch", ["shared", "monolithic"])
+    def test_act_on_simplex(self, panel, arch):
+        agent = small_sdp(arch)
+        w = np.full(5, 0.2)
+        a = agent.act(panel, 10, w)
+        assert a.shape == (5,)
+        assert a.sum() == pytest.approx(1.0)
+        assert np.all(a >= 0)
+
+    def test_policy_forward_batched(self, panel):
+        agent = small_sdp()
+        idx = np.array([10, 12, 14])
+        w = np.full((3, 5), 0.2)
+        out = agent.policy_forward(panel, idx, w)
+        assert isinstance(out, Tensor)
+        assert out.shape == (3, 5)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            SDPAgent(4, architecture="quantum")
+
+    def test_num_parameters_positive(self):
+        assert small_sdp().num_parameters() > 0
+
+    def test_inference_activity(self, panel):
+        agent = small_sdp()
+        act = agent.inference_activity(panel, 10, np.full(5, 0.2))
+        assert act.total_synops > 0
+        assert act.timesteps == 5
+
+    def test_dense_macs_scales_with_assets(self):
+        a = small_sdp()
+        assert a.dense_equivalent_macs() > 0
+
+    def test_backtest_runs(self, panel):
+        result = run_backtest(small_sdp(), panel, observation=CFG)
+        assert result.values[0] == 1.0
+        assert len(result.weights) == result.metrics.num_periods
+
+
+class TestJiangAgent:
+    def test_act_on_simplex(self, panel):
+        agent = JiangDRLAgent(4, observation=CFG, seed=1)
+        a = agent.act(panel, 10, np.full(5, 0.2))
+        assert a.shape == (5,)
+        assert a.sum() == pytest.approx(1.0)
+
+    def test_w_prev_changes_output(self, panel):
+        # The previous-weight channel must influence the action.
+        agent = JiangDRLAgent(4, observation=CFG, seed=1)
+        w1 = np.array([0.0, 1.0, 0.0, 0.0, 0.0])
+        w2 = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        a1 = agent.act(panel, 10, w1)
+        a2 = agent.act(panel, 10, w2)
+        assert not np.allclose(a1, a2)
+
+    def test_macs_positive(self):
+        agent = JiangDRLAgent(4, observation=CFG, seed=1)
+        assert agent.macs_per_inference() > 0
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError):
+            JiangDRLAgent(4, observation=ObservationConfig(window=3))
+
+
+class TestTrainer:
+    def test_loss_decreases_reward_improves(self, panel):
+        agent = JiangDRLAgent(4, observation=CFG, seed=2)
+        trainer = PolicyTrainer(
+            agent, panel, Adam(agent.parameters(), 1e-3), observation=CFG,
+            config=TrainConfig(steps=40, batch_size=16, log_every=10), seed=0,
+        )
+        history = trainer.train()
+        assert len(history.steps) >= 4
+        assert all(np.isfinite(l) for l in history.loss)
+
+    def test_pvm_written(self, panel):
+        agent = JiangDRLAgent(4, observation=CFG, seed=2)
+        trainer = PolicyTrainer(
+            agent, panel, Adam(agent.parameters(), 1e-3), observation=CFG,
+            config=TrainConfig(steps=5, batch_size=16), seed=0,
+        )
+        before = trainer.pvm.snapshot()
+        trainer.train()
+        after = trainer.pvm.snapshot()
+        assert not np.allclose(before, after)
+
+    def test_permutation_preserves_simplex(self, panel):
+        agent = small_sdp()
+        trainer = PolicyTrainer(
+            agent, panel, Adam(agent.parameters(), 1e-3), observation=CFG,
+            config=TrainConfig(steps=5, batch_size=16, permute_assets=True),
+            seed=0,
+        )
+        trainer.train()
+        pvm = trainer.pvm.snapshot()
+        assert np.allclose(pvm.sum(axis=1), 1.0)
+        assert np.all(pvm >= -1e-9)
+
+    def test_panel_too_short(self, panel):
+        agent = small_sdp()
+        short = panel._take(slice(0, 20), [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            PolicyTrainer(
+                agent, short, Adam(agent.parameters(), 1e-3), observation=CFG,
+                config=TrainConfig(steps=5, batch_size=64), seed=0,
+            )
+
+    def test_deterministic_with_seed(self, panel):
+        losses = []
+        for _ in range(2):
+            agent = JiangDRLAgent(4, observation=CFG, seed=3)
+            trainer = PolicyTrainer(
+                agent, panel, Adam(agent.parameters(), 1e-3), observation=CFG,
+                config=TrainConfig(steps=5, batch_size=16), seed=9,
+            )
+            stats = [trainer.train_step()["loss"] for _ in range(3)]
+            losses.append(stats)
+        assert np.allclose(losses[0], losses[1])

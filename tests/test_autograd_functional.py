@@ -1,0 +1,136 @@
+"""Unit tests for composite differentiable ops (softmax, conv2d, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd import functional as F
+
+
+def t(x):
+    return Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = t(np.random.randn(4, 5))
+        out = F.softmax(x, axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_stability_large_logits(self):
+        x = t(np.array([[1000.0, 1000.0]]))
+        out = F.softmax(x)
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+    def test_gradcheck(self):
+        check_gradients(lambda x: F.softmax(x, axis=-1), [t(np.random.randn(3, 4))])
+
+    def test_log_softmax_consistency(self):
+        x = t(np.random.randn(2, 5))
+        assert np.allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+    def test_log_softmax_gradcheck(self):
+        check_gradients(lambda x: F.log_softmax(x, axis=-1), [t(np.random.randn(3, 4))])
+
+
+class TestLinear:
+    def test_matches_manual(self):
+        x, w, b = t(np.random.randn(2, 3)), t(np.random.randn(4, 3)), t(np.random.randn(4))
+        out = F.linear(x, w, b)
+        assert np.allclose(out.data, x.data @ w.data.T + b.data)
+
+    def test_gradcheck(self):
+        x, w, b = t(np.random.randn(2, 3)), t(np.random.randn(4, 3)), t(np.random.randn(4))
+        check_gradients(lambda x, w, b: F.linear(x, w, b), [x, w, b])
+
+    def test_mse(self):
+        a, b = t(np.random.randn(5)), t(np.random.randn(5))
+        assert np.allclose(F.mse_loss(a, b).data, ((a.data - b.data) ** 2).mean())
+
+
+class TestConv2d:
+    def _reference_conv(self, x, w, b, stride):
+        bsz, cin, h, ww = x.shape
+        cout, _, kh, kw = w.shape
+        sh, sw = stride
+        oh, ow = (h - kh) // sh + 1, (ww - kw) // sw + 1
+        out = np.zeros((bsz, cout, oh, ow))
+        for n in range(bsz):
+            for o in range(cout):
+                for i in range(oh):
+                    for j in range(ow):
+                        patch = x[n, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                        out[n, o, i, j] = (patch * w[o]).sum()
+                if b is not None:
+                    out[n, o] += b[o]
+        return out
+
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 5, 6))
+        w = rng.standard_normal((4, 3, 2, 3))
+        b = rng.standard_normal(4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b))
+        ref = self._reference_conv(x, w, b, (1, 1))
+        assert np.allclose(out.data, ref)
+
+    def test_strided_matches_reference(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 6, 8))
+        w = rng.standard_normal((3, 2, 2, 2))
+        out = F.conv2d(Tensor(x), Tensor(w), None, stride=(2, 2))
+        ref = self._reference_conv(x, w, None, (2, 2))
+        assert np.allclose(out.data, ref)
+
+    def test_gradcheck(self):
+        x = t(np.random.randn(2, 2, 4, 5))
+        w = t(np.random.randn(3, 2, 1, 3))
+        b = t(np.random.randn(3))
+        check_gradients(lambda x, w, b: F.conv2d(x, w, b), [x, w, b])
+
+    def test_gradcheck_strided(self):
+        x = t(np.random.randn(1, 1, 5, 5))
+        w = t(np.random.randn(2, 1, 2, 2))
+        check_gradients(lambda x, w: F.conv2d(x, w, None, stride=(2, 1)), [x, w])
+
+    def test_eiie_shapes(self):
+        # The exact shapes the Jiang baseline uses.
+        x = Tensor(np.random.randn(8, 4, 11, 30))
+        w1 = Tensor(np.random.randn(2, 4, 1, 3))
+        h = F.conv2d(x, w1, None)
+        assert h.shape == (8, 2, 11, 28)
+        w2 = Tensor(np.random.randn(20, 2, 1, 28))
+        h2 = F.conv2d(h, w2, None)
+        assert h2.shape == (8, 20, 11, 1)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 2, 1, 1))))
+
+    def test_ndim_validation(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((3, 4, 4))), Tensor(np.zeros((2, 3, 1, 1))))
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        x = t(np.random.randn(10))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert np.allclose(out.data, x.data)
+
+    def test_zero_p_identity(self):
+        x = t(np.random.randn(10))
+        out = F.dropout(x, 0.0, np.random.default_rng(0))
+        assert np.allclose(out.data, x.data)
+
+    def test_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100_000))
+        out = F.dropout(x, 0.3, rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(t(np.zeros(3)), 1.0, np.random.default_rng(0))

@@ -1,0 +1,130 @@
+"""Unit tests for the nn module system."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import (
+    Conv2d,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    kaiming_uniform,
+)
+
+
+class TestParameterTraversal:
+    def test_linear_params(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng=np.random.default_rng(0))
+                self.b = Linear(3, 1, rng=np.random.default_rng(1))
+
+        names = {n for n, _ in Net().named_parameters()}
+        assert names == {"a.weight", "a.bias", "b.weight", "b.bias"}
+
+    def test_list_of_modules(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng=np.random.default_rng(i)) for i in range(2)]
+
+        names = {n for n, _ in Net().named_parameters()}
+        assert "layers.0.weight" in names and "layers.1.bias" in names
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        b = Linear(3, 2, rng=np.random.default_rng(1))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_missing_key_raises(self):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_state_dict_is_copy(self):
+        a = Linear(2, 2, rng=np.random.default_rng(0))
+        state = a.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(a.weight.data, 99.0)
+
+
+class TestLayers:
+    def test_linear_forward(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        x = Tensor(np.random.randn(5, 3))
+        assert layer(x).shape == (5, 4)
+
+    def test_linear_no_bias(self):
+        layer = Linear(3, 4, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv2d_forward(self):
+        layer = Conv2d(2, 3, (1, 3), rng=np.random.default_rng(0))
+        x = Tensor(np.random.randn(2, 2, 4, 10))
+        assert layer(x).shape == (2, 3, 4, 8)
+
+    def test_activations(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert np.allclose(ReLU()(x).data, [0.0, 1.0])
+        assert np.allclose(Tanh()(x).data, np.tanh([-1.0, 1.0]))
+        assert np.allclose(Sigmoid()(x).data, 1 / (1 + np.exp([1.0, -1.0])))
+
+    def test_sequential(self):
+        seq = Sequential(
+            Linear(3, 5, rng=np.random.default_rng(0)),
+            ReLU(),
+            Linear(5, 2, rng=np.random.default_rng(1)),
+        )
+        assert seq(Tensor(np.random.randn(4, 3))).shape == (4, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+    def test_kaiming_bound(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((100, 50), fan_in=50, rng=rng)
+        bound = np.sqrt(6.0 / 50)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_repr(self):
+        assert "Linear(3, 4)" == repr(Linear(3, 4, rng=np.random.default_rng(0)))
+        assert "Conv2d" in repr(Conv2d(1, 1, (1, 1), rng=np.random.default_rng(0)))

@@ -1,0 +1,92 @@
+"""Unit tests for optimisers: convergence on known problems."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import Parameter
+from repro.autograd.optim import SGD, Adam, GradientClipper, Optimizer, RMSProp
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+def run_optimizer(opt_cls, lr, steps=300, **kwargs):
+    p = Parameter(np.zeros(3))
+    opt = opt_cls([p], lr, **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = quadratic_loss(p)
+        loss.backward()
+        opt.step()
+    return p, float(quadratic_loss(p).data)
+
+
+class TestConvergence:
+    def test_sgd(self):
+        _, loss = run_optimizer(SGD, 0.1)
+        assert loss < 1e-8
+
+    def test_sgd_momentum(self):
+        _, loss = run_optimizer(SGD, 0.05, momentum=0.9)
+        assert loss < 1e-8
+
+    def test_adam(self):
+        _, loss = run_optimizer(Adam, 0.1, steps=500)
+        assert loss < 1e-6
+
+    def test_rmsprop(self):
+        _, loss = run_optimizer(RMSProp, 0.05, steps=500)
+        assert loss < 1e-6
+
+    def test_weight_decay_shrinks_solution(self):
+        p_plain, _ = run_optimizer(SGD, 0.1)
+        p_decay, _ = run_optimizer(SGD, 0.1, weight_decay=0.5)
+        assert np.linalg.norm(p_decay.data) < np.linalg.norm(p_plain.data)
+
+
+class TestValidation:
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], 0.1)
+
+    def test_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], 0.0)
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], 0.1, momentum=1.5)
+
+    def test_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], 0.1, betas=(1.0, 0.9))
+
+    def test_step_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], 0.1)
+        opt.step()  # no backward happened; must not crash
+        assert np.allclose(p.data, 1.0)
+
+
+class TestGradientClipper:
+    def test_clips_large(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        clipper = GradientClipper(1.0)
+        norm = clipper.clip([p])
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        GradientClipper(1.0).clip([p])
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            GradientClipper(0.0)

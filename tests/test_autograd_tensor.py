@@ -1,0 +1,255 @@
+"""Unit tests for the autograd engine: ops, broadcasting, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    concatenate,
+    custom_op,
+    stack,
+    unbroadcast,
+    where,
+)
+
+
+def t(x, rg=True):
+    return Tensor(np.asarray(x, dtype=np.float64), requires_grad=rg)
+
+
+class TestBasics:
+    def test_construction_casts_ints(self):
+        x = Tensor([1, 2, 3])
+        assert np.issubdtype(x.dtype, np.floating)
+
+    def test_detach_cuts_graph(self):
+        x = t([1.0, 2.0])
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == 3.5
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(t([1.0]))
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        check_gradients(lambda a, b: a + b, [t(np.random.randn(3)), t(np.random.randn(3))])
+
+    def test_broadcast_add(self):
+        a, b = t(np.random.randn(3, 4)), t(np.random.randn(4))
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_scalar_broadcast(self):
+        a = t(np.random.randn(2, 3))
+        check_gradients(lambda a: a * 3.0 + 1.0, [a])
+
+    def test_sub_rsub(self):
+        a = t(np.random.randn(4))
+        check_gradients(lambda a: 2.0 - a, [a])
+
+    def test_mul_div(self):
+        a = t(np.abs(np.random.randn(3, 2)) + 0.5)
+        b = t(np.abs(np.random.randn(3, 2)) + 0.5)
+        check_gradients(lambda a, b: a * b / (a + b), [a, b])
+
+    def test_rtruediv(self):
+        a = t(np.abs(np.random.randn(4)) + 1.0)
+        check_gradients(lambda a: 1.0 / a, [a])
+
+    def test_pow(self):
+        a = t(np.abs(np.random.randn(4)) + 0.5)
+        check_gradients(lambda a: a ** 3, [a])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            t([2.0]) ** t([3.0])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [t(np.random.randn(3))])
+
+    def test_gradient_accumulation_diamond(self):
+        # x used twice: gradients must add.
+        x = t([2.0])
+        y = x * x + x * 3.0
+        y.backward()
+        assert np.allclose(x.grad, [7.0])  # 2x + 3
+
+
+class TestMatmul:
+    def test_2d(self):
+        check_gradients(
+            lambda a, b: a @ b, [t(np.random.randn(3, 4)), t(np.random.randn(4, 2))]
+        )
+
+    def test_vec_vec(self):
+        check_gradients(
+            lambda a, b: a @ b, [t(np.random.randn(5)), t(np.random.randn(5))]
+        )
+
+    def test_mat_vec(self):
+        check_gradients(
+            lambda a, b: a @ b, [t(np.random.randn(3, 5)), t(np.random.randn(5))]
+        )
+
+    def test_vec_mat(self):
+        check_gradients(
+            lambda a, b: a @ b, [t(np.random.randn(5)), t(np.random.randn(5, 2))]
+        )
+
+    def test_batched(self):
+        check_gradients(
+            lambda a, b: a @ b,
+            [t(np.random.randn(2, 3, 4)), t(np.random.randn(2, 4, 2))],
+        )
+
+    def test_batched_broadcast(self):
+        check_gradients(
+            lambda a, b: a @ b,
+            [t(np.random.randn(2, 3, 4)), t(np.random.randn(4, 2))],
+        )
+
+
+class TestElementwise:
+    def test_exp_log(self):
+        a = t(np.abs(np.random.randn(4)) + 0.5)
+        check_gradients(lambda a: a.exp().log(), [a])
+
+    def test_sqrt(self):
+        a = t(np.abs(np.random.randn(4)) + 0.5)
+        check_gradients(lambda a: a.sqrt(), [a])
+
+    def test_tanh_sigmoid(self):
+        a = t(np.random.randn(4))
+        check_gradients(lambda a: a.tanh() + a.sigmoid(), [a])
+
+    def test_relu(self):
+        a = t([-1.0, 0.5, 2.0, -0.2])
+        check_gradients(lambda a: a.relu(), [a])
+
+    def test_abs(self):
+        a = t([-1.0, 0.5, 2.0])
+        check_gradients(lambda a: a.abs(), [a])
+
+    def test_clip_gradient_masked(self):
+        a = t([-2.0, 0.0, 2.0])
+        out = a.clip(-1.0, 1.0)
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [t(np.random.randn(3, 4))])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=1), [t(np.random.randn(3, 4))])
+
+    def test_sum_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True), [t(np.random.randn(3, 4))])
+
+    def test_mean(self):
+        a = t(np.random.randn(3, 4))
+        assert np.allclose(a.mean().data, a.data.mean())
+        check_gradients(lambda a: a.mean(axis=1), [a])
+
+    def test_max_all(self):
+        a = t([1.0, 5.0, 3.0])
+        out = a.max()
+        out.backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        a = t(np.array([[1.0, 2.0], [4.0, 3.0]]))
+        out = a.max(axis=1)
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0, 1], [1, 0]])
+
+    def test_min(self):
+        a = t([3.0, -1.0, 2.0])
+        assert a.min().item() == -1.0
+
+
+class TestShapes:
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(2, 6), [t(np.random.randn(3, 4))])
+
+    def test_transpose(self):
+        check_gradients(lambda a: a.transpose(1, 0), [t(np.random.randn(3, 4))])
+
+    def test_T(self):
+        a = t(np.random.randn(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem(self):
+        check_gradients(lambda a: a[1:, :2], [t(np.random.randn(3, 4))])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        idx = np.array([0, 0, 1])
+        out = a[idx]
+        out.sum().backward()
+        assert np.allclose(a.grad, [2.0, 1.0, 0.0])
+
+    def test_expand_squeeze(self):
+        a = t(np.random.randn(3))
+        assert a.expand_dims(0).shape == (1, 3)
+        assert a.expand_dims(0).squeeze(0).shape == (3,)
+
+    def test_flatten(self):
+        assert t(np.random.randn(2, 3)).flatten().shape == (6,)
+
+
+class TestGraphOps:
+    def test_concatenate(self):
+        a, b = t(np.random.randn(2, 3)), t(np.random.randn(2, 2))
+        check_gradients(lambda a, b: concatenate([a, b], axis=1), [a, b])
+
+    def test_stack(self):
+        a, b = t(np.random.randn(3)), t(np.random.randn(3))
+        check_gradients(lambda a, b: stack([a, b], axis=0), [a, b])
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a, b = t(np.random.randn(3)), t(np.random.randn(3))
+        check_gradients(lambda a, b: where(cond, a, b), [a, b])
+
+    def test_custom_op(self):
+        a = t([1.0, 2.0])
+        out = custom_op([a], a.data * 2, lambda g: (g * 2,), name="double")
+        out.sum().backward()
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+
+class TestUnbroadcast:
+    def test_noop(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_leading_axes(self):
+        g = np.ones((2, 3, 4))
+        assert np.allclose(unbroadcast(g, (3, 4)), 2 * np.ones((3, 4)))
+
+    def test_stretched_axes(self):
+        g = np.ones((3, 4))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        assert np.allclose(out, 4.0)
+
+    def test_scalar(self):
+        g = np.ones((2, 2))
+        assert unbroadcast(g, ()).shape == ()

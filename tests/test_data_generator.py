@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic market generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import CoinSpec, MarketGenerator, default_universe
+from repro.data.regimes import BULL_BTC, Regime, RegimeSchedule
+
+
+class TestDeterminism:
+    def test_same_seed_same_panel(self):
+        a = MarketGenerator(seed=9).generate("2018/01/01", "2018/02/01", 7200)
+        b = MarketGenerator(seed=9).generate("2018/01/01", "2018/02/01", 7200)
+        assert np.array_equal(a.close, b.close)
+        assert np.array_equal(a.volume, b.volume)
+
+    def test_different_seed_differs(self):
+        a = MarketGenerator(seed=1).generate("2018/01/01", "2018/02/01", 7200)
+        b = MarketGenerator(seed=2).generate("2018/01/01", "2018/02/01", 7200)
+        assert not np.allclose(a.close, b.close)
+
+    def test_coin_stream_stable_under_universe_subset(self):
+        # BTC's path must not change when other coins are added/removed.
+        uni = default_universe()
+        a = MarketGenerator(universe=uni[:2], seed=3).generate(
+            "2018/01/01", "2018/02/01", 7200
+        )
+        b = MarketGenerator(universe=uni[:5], seed=3).generate(
+            "2018/01/01", "2018/02/01", 7200
+        )
+        assert np.allclose(a.close[:, 0], b.close[:, 0])
+
+
+class TestInvariants:
+    def test_ohlc_consistency(self):
+        d = MarketGenerator(seed=4).generate("2017/06/01", "2017/08/01", 7200)
+        d.validate()
+        assert np.all(d.high >= np.maximum(d.open, d.close) - 1e-9)
+        assert np.all(d.low <= np.minimum(d.open, d.close) + 1e-9)
+
+    def test_open_is_previous_close(self):
+        d = MarketGenerator(seed=4).generate("2017/06/01", "2017/07/01", 7200)
+        assert np.allclose(d.open[1:], d.close[:-1])
+
+    def test_initial_price_respected(self):
+        uni = [CoinSpec("X", initial_price=42.0)]
+        d = MarketGenerator(universe=uni, seed=0).generate(
+            "2018/01/01", "2018/01/10", 7200
+        )
+        assert d.open[0, 0] == pytest.approx(42.0)
+
+    def test_volume_positive(self):
+        d = MarketGenerator(seed=4).generate("2017/06/01", "2017/07/01", 7200)
+        assert np.all(d.volume > 0)
+
+
+class TestStatistics:
+    def test_regime_drift_visible(self):
+        bull = Regime("b", drift=5.0, volatility=0.3)
+        bear = Regime("r", drift=-5.0, volatility=0.3)
+        uni = [CoinSpec("X", beta=1.0, idio_vol=0.2, jump_rate=0.0)]
+        up = MarketGenerator(uni, RegimeSchedule([("2018/01/01", bull)]), seed=0,
+                             idio_momentum=0.0, market_momentum=0.0)
+        dn = MarketGenerator(uni, RegimeSchedule([("2018/01/01", bear)]), seed=0,
+                             idio_momentum=0.0, market_momentum=0.0)
+        a = up.generate("2018/01/01", "2018/07/01", 7200)
+        b = dn.generate("2018/01/01", "2018/07/01", 7200)
+        assert a.close[-1, 0] > b.close[-1, 0]
+
+    def test_alt_bias_creates_dispersion(self):
+        # Same idio stats, different alt loadings: the high-loading coin
+        # must underperform in a BULL_BTC regime (alt_bias < 0).
+        uni = [
+            CoinSpec("DOM", beta=1.0, idio_vol=0.3, jump_rate=0.0, alt_loading=0.0),
+            CoinSpec("ALT", beta=1.0, idio_vol=0.3, jump_rate=0.0, alt_loading=1.0),
+        ]
+        sched = RegimeSchedule([("2019/01/01", BULL_BTC)])
+        d = MarketGenerator(uni, sched, seed=1, idio_momentum=0.0,
+                            market_momentum=0.0).generate(
+            "2019/01/01", "2019/12/01", 7200
+        )
+        growth = d.close[-1] / d.close[0]
+        # alt_bias ~ -2.8/yr over ~0.9yr dominates 0.3 idio vol w.h.p.
+        assert growth[1] < growth[0]
+
+    def test_momentum_induces_autocorrelation(self):
+        uni = [CoinSpec("X", beta=0.0, idio_vol=0.5, jump_rate=0.0)]
+        sched = RegimeSchedule([("2019/01/01", Regime("flat", 0.0, 0.5))])
+        with_m = MarketGenerator(uni, sched, seed=2, idio_momentum=20.0,
+                                 market_momentum=0.0,
+                                 momentum_timescale_hours=48)
+        without = MarketGenerator(uni, sched, seed=2, idio_momentum=0.0,
+                                  market_momentum=0.0)
+        lr_m = with_m.generate("2019/01/01", "2019/12/01", 7200).log_returns()[:, 0]
+        lr_0 = without.generate("2019/01/01", "2019/12/01", 7200).log_returns()[:, 0]
+
+        def lag1(x):
+            return np.corrcoef(x[:-1], x[1:])[0, 1]
+
+        assert lag1(lr_m) > lag1(lr_0) + 0.02
+
+    def test_volume_couples_to_regime(self):
+        quiet = Regime("q", drift=0.0, volatility=0.4, volume_multiplier=1.0)
+        loud = Regime("l", drift=0.0, volatility=0.4, volume_multiplier=5.0)
+        uni = [CoinSpec("X", jump_rate=0.0)]
+        sched = RegimeSchedule([("2019/01/01", quiet), ("2019/03/01", loud)])
+        d = MarketGenerator(uni, sched, seed=3).generate(
+            "2019/01/01", "2019/05/01", 7200
+        )
+        split = d.index_at("2019/03/01")
+        assert d.volume[split:, 0].mean() > 2 * d.volume[:split, 0].mean()
+
+
+class TestValidation:
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            MarketGenerator(seed=0).generate("2018/02/01", "2018/01/01", 7200)
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            MarketGenerator(universe=[CoinSpec("X"), CoinSpec("X")])
+
+    def test_empty_universe(self):
+        with pytest.raises(ValueError):
+            MarketGenerator(universe=[])
+
+    def test_bad_substeps(self):
+        with pytest.raises(ValueError):
+            MarketGenerator(substeps=1)
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            MarketGenerator(momentum_timescale_hours=0)
+        with pytest.raises(ValueError):
+            MarketGenerator(idio_momentum=-1.0)
+
+    def test_coin_spec_validation(self):
+        with pytest.raises(ValueError):
+            CoinSpec("X", idio_vol=0.0)
+        with pytest.raises(ValueError):
+            CoinSpec("X", liquidity=-1.0)

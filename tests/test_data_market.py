@@ -1,0 +1,154 @@
+"""Unit tests for the MarketData container."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketData, MarketGenerator, parse_date
+
+
+@pytest.fixture(scope="module")
+def panel():
+    gen = MarketGenerator(seed=5)
+    return gen.generate("2019/01/01", "2019/03/01", period_seconds=7200)
+
+
+def tiny_panel(n=10, m=2):
+    ts = parse_date("2020/01/01") + 3600 * np.arange(n)
+    close = np.full((n, m), 10.0)
+    return MarketData(
+        timestamps=ts,
+        names=[f"A{i}" for i in range(m)],
+        open=close.copy(),
+        high=close * 1.1,
+        low=close * 0.9,
+        close=close.copy(),
+        volume=np.ones((n, m)),
+        period_seconds=3600,
+    )
+
+
+class TestValidation:
+    def test_valid_passes(self):
+        tiny_panel()
+
+    def test_name_count_mismatch(self):
+        p = tiny_panel()
+        with pytest.raises(ValueError):
+            MarketData(p.timestamps, ["only-one"], p.open, p.high, p.low,
+                       p.close, p.volume, p.period_seconds)
+
+    def test_uneven_timestamps(self):
+        p = tiny_panel()
+        ts = p.timestamps.copy()
+        ts[3] += 5
+        with pytest.raises(ValueError):
+            MarketData(ts, p.names, p.open, p.high, p.low, p.close,
+                       p.volume, p.period_seconds)
+
+    def test_negative_price(self):
+        p = tiny_panel()
+        close = p.close.copy()
+        close[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            MarketData(p.timestamps, p.names, p.open, p.high, p.low, close,
+                       p.volume, p.period_seconds)
+
+    def test_high_below_low(self):
+        p = tiny_panel()
+        high = p.high.copy()
+        high[0, 0] = p.low[0, 0] / 2
+        with pytest.raises(ValueError):
+            MarketData(p.timestamps, p.names, p.open, high, p.low, p.close,
+                       p.volume, p.period_seconds)
+
+    def test_negative_volume(self):
+        p = tiny_panel()
+        vol = p.volume.copy()
+        vol[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            MarketData(p.timestamps, p.names, p.open, p.high, p.low, p.close,
+                       vol, p.period_seconds)
+
+
+class TestSlicing:
+    def test_slice_time(self, panel):
+        sub = panel.slice_time("2019/01/10", "2019/01/20")
+        assert sub.n_periods < panel.n_periods
+        assert sub.timestamps[0] >= parse_date("2019/01/10")
+        assert sub.timestamps[-1] < parse_date("2019/01/20")
+
+    def test_empty_slice_raises(self, panel):
+        with pytest.raises(ValueError):
+            panel.slice_time("2019/02/01", "2019/02/01")
+
+    def test_select_by_name(self, panel):
+        sub = panel.select_assets(["ETH", "BTC"])
+        assert sub.names == ["ETH", "BTC"]
+        j = panel.names.index("ETH")
+        assert np.allclose(sub.close[:, 0], panel.close[:, j])
+
+    def test_select_by_index(self, panel):
+        sub = panel.select_assets([0, 2])
+        assert sub.names == [panel.names[0], panel.names[2]]
+
+    def test_select_unknown_raises(self, panel):
+        with pytest.raises(KeyError):
+            panel.select_assets(["NOPE"])
+
+    def test_index_at(self, panel):
+        idx = panel.index_at("2019/01/15")
+        assert panel.timestamps[idx] >= parse_date("2019/01/15")
+        assert panel.timestamps[idx - 1] < parse_date("2019/01/15")
+
+    def test_index_beyond_raises(self, panel):
+        with pytest.raises(IndexError):
+            panel.index_at("2030/01/01")
+
+
+class TestDerived:
+    def test_price_relatives(self, panel):
+        rel = panel.price_relatives()
+        assert rel.shape == (panel.n_periods - 1, panel.n_assets)
+        assert np.allclose(rel[0], panel.close[1] / panel.close[0])
+
+    def test_price_relatives_with_cash(self, panel):
+        rel = panel.price_relatives(include_cash=True)
+        assert rel.shape[1] == panel.n_assets + 1
+        assert np.all(rel[:, 0] == 1.0)
+
+    def test_log_returns(self, panel):
+        lr = panel.log_returns()
+        assert np.allclose(np.exp(lr), panel.price_relatives())
+
+    def test_rolling_volume(self, panel):
+        rv = panel.rolling_volume(5)
+        assert rv.shape == panel.volume.shape
+        assert np.allclose(rv[4], panel.volume[:5].sum(axis=0))
+        assert np.allclose(rv[0], panel.volume[0])
+
+    def test_rolling_volume_validation(self, panel):
+        with pytest.raises(ValueError):
+            panel.rolling_volume(0)
+
+
+class TestResample:
+    def test_factor_one_is_identity(self, panel):
+        assert panel.resample(1) is panel
+
+    def test_aggregation_invariants(self, panel):
+        agg = panel.resample(4)
+        assert agg.period_seconds == panel.period_seconds * 4
+        assert agg.n_periods == panel.n_periods // 4
+        # First candle aggregates the first 4 base candles.
+        assert np.allclose(agg.open[0], panel.open[0])
+        assert np.allclose(agg.close[0], panel.close[3])
+        assert np.allclose(agg.high[0], panel.high[:4].max(axis=0))
+        assert np.allclose(agg.low[0], panel.low[:4].min(axis=0))
+        assert np.allclose(agg.volume[0], panel.volume[:4].sum(axis=0))
+
+    def test_resampled_still_valid(self, panel):
+        panel.resample(6).validate()
+
+    def test_bad_factor(self, panel):
+        with pytest.raises(ValueError):
+            panel.resample(0)

@@ -1,0 +1,105 @@
+"""Unit tests for the simulated Poloniex API."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MarketGenerator,
+    PoloniexError,
+    PoloniexSimulator,
+    parse_date,
+)
+
+
+@pytest.fixture(scope="module")
+def exchange():
+    return PoloniexSimulator(
+        MarketGenerator(seed=11),
+        history_start="2019/01/01",
+        history_end="2019/04/01",
+        base_period=7200,
+    )
+
+
+class TestChartData:
+    def test_schema(self, exchange):
+        candles = exchange.return_chart_data("USDT_BTC", period=7200)
+        assert candles
+        keys = {"date", "open", "high", "low", "close", "volume",
+                "quoteVolume", "weightedAverage"}
+        assert set(candles[0]) == keys
+
+    def test_chronological(self, exchange):
+        candles = exchange.return_chart_data("USDT_BTC", period=7200)
+        dates = [c["date"] for c in candles]
+        assert dates == sorted(dates)
+
+    def test_start_end_bounds(self, exchange):
+        s, e = parse_date("2019/02/01"), parse_date("2019/02/10")
+        candles = exchange.return_chart_data("USDT_BTC", 7200, s, e)
+        assert all(s <= c["date"] < e for c in candles)
+
+    def test_resampled_period(self, exchange):
+        base = exchange.return_chart_data("USDT_ETH", 7200)
+        agg = exchange.return_chart_data("USDT_ETH", 14400)
+        assert len(agg) == len(base) // 2
+        assert agg[0]["open"] == pytest.approx(base[0]["open"])
+        assert agg[0]["close"] == pytest.approx(base[1]["close"])
+
+    def test_invalid_period(self, exchange):
+        with pytest.raises(PoloniexError):
+            exchange.return_chart_data("USDT_BTC", period=1234)
+
+    def test_finer_than_base_rejected(self, exchange):
+        with pytest.raises(PoloniexError):
+            exchange.return_chart_data("USDT_BTC", period=1800)
+
+    def test_unknown_pair(self, exchange):
+        with pytest.raises(PoloniexError):
+            exchange.return_chart_data("USDT_NOPE")
+        with pytest.raises(PoloniexError):
+            exchange.return_chart_data("EUR_BTC")
+        with pytest.raises(PoloniexError):
+            exchange.return_chart_data("garbage")
+
+
+class TestVolumeAndTicker:
+    def test_24h_volume_pairs(self, exchange):
+        vol = exchange.return_24h_volume()
+        assert set(vol) == set(exchange.currency_pairs())
+        assert all(v > 0 for v in vol.values())
+
+    def test_ticker_fields(self, exchange):
+        tick = exchange.return_ticker()
+        btc = tick["USDT_BTC"]
+        assert btc["lowestAsk"] > btc["last"] > btc["highestBid"]
+        assert btc["high24hr"] >= btc["low24hr"]
+
+    def test_as_of_historical(self, exchange):
+        t = parse_date("2019/02/15")
+        tick = exchange.return_ticker(as_of=t)
+        panel = exchange.data
+        idx = np.searchsorted(panel.timestamps, t, side="right") - 1
+        j = panel.names.index("BTC")
+        assert tick["USDT_BTC"]["last"] == pytest.approx(panel.close[idx, j])
+
+
+class TestFetchPanel:
+    def test_matches_direct_slice(self, exchange):
+        panel = exchange.fetch_panel(
+            ["USDT_BTC", "USDT_ETH"], "2019/02/01", "2019/03/01", period=7200
+        )
+        direct = exchange.data.slice_time("2019/02/01", "2019/03/01").select_assets(
+            ["BTC", "ETH"]
+        )
+        assert np.allclose(panel.close, direct.close)
+        assert np.allclose(panel.volume, direct.volume)
+        assert panel.names == ["BTC", "ETH"]
+
+    def test_panel_validates(self, exchange):
+        panel = exchange.fetch_panel(["USDT_BTC"], "2019/01/15", "2019/02/01", 14400)
+        panel.validate()
+
+    def test_empty_range_raises(self, exchange):
+        with pytest.raises(PoloniexError):
+            exchange.fetch_panel(["USDT_BTC"], "2025/01/01", "2025/02/01", 7200)

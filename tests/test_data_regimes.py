@@ -1,0 +1,81 @@
+"""Unit tests for the regime calendar."""
+
+import numpy as np
+import pytest
+
+from repro.data.regimes import (
+    BEAR,
+    BULL,
+    CRASH,
+    Regime,
+    RegimeSchedule,
+    default_crypto_schedule,
+    format_date,
+    parse_date,
+)
+
+
+class TestDates:
+    def test_parse_slash_and_dash(self):
+        assert parse_date("2019/04/14") == parse_date("2019-04-14")
+
+    def test_roundtrip(self):
+        epoch = parse_date("2020/03/08")
+        assert format_date(epoch) == "2020/03/08"
+
+    def test_ordering(self):
+        assert parse_date("2016/08/01") < parse_date("2021/08/01")
+
+
+class TestRegime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Regime("x", drift=0.0, volatility=0.0)
+        with pytest.raises(ValueError):
+            Regime("x", drift=0.0, volatility=0.5, jump_rate=-1.0)
+        with pytest.raises(ValueError):
+            Regime("x", drift=0.0, volatility=0.5, volume_multiplier=0.0)
+
+
+class TestSchedule:
+    def test_lookup_boundaries(self):
+        sched = RegimeSchedule([("2020/01/01", BULL), ("2020/06/01", BEAR)])
+        assert sched.regime_at(parse_date("2020/03/01")).name == "bull"
+        assert sched.regime_at(parse_date("2020/06/01")).name == "bear"
+        assert sched.regime_at(parse_date("2021/01/01")).name == "bear"
+
+    def test_before_first_segment_uses_first(self):
+        sched = RegimeSchedule([("2020/01/01", BULL)])
+        assert sched.regime_at(parse_date("2019/01/01")).name == "bull"
+
+    def test_vectorised_lookup(self):
+        sched = RegimeSchedule([("2020/01/01", BULL), ("2020/06/01", CRASH)])
+        epochs = np.array([parse_date("2020/02/01"), parse_date("2020/07/01")])
+        names = [r.name for r in sched.lookup(epochs)]
+        assert names == ["bull", "crash"]
+
+    def test_parameter_arrays_keys(self):
+        sched = default_crypto_schedule()
+        epochs = np.array([parse_date("2017/06/01")])
+        params = sched.parameter_arrays(epochs)
+        for key in ("drift", "volatility", "jump_rate", "jump_scale",
+                    "jump_bias", "volume_multiplier", "alt_bias"):
+            assert key in params and params[key].shape == (1,)
+
+    def test_unordered_segments_rejected(self):
+        with pytest.raises(ValueError):
+            RegimeSchedule([("2020/06/01", BULL), ("2020/01/01", BEAR)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegimeSchedule([])
+
+    def test_default_calendar_narrative(self):
+        sched = default_crypto_schedule()
+        # 2017 mania, 2018 winter, 2020 covid crash, 2021 mania.
+        assert sched.regime_at(parse_date("2017/12/01")).name == "mania"
+        assert sched.regime_at(parse_date("2018/06/01")).name == "bear"
+        assert sched.regime_at(parse_date("2020/03/15")).name == "crash"
+        assert sched.regime_at(parse_date("2021/03/01")).name == "mania"
+        # 2019 bull is BTC-dominant: alts bleed.
+        assert sched.regime_at(parse_date("2019/05/01")).alt_bias < 0

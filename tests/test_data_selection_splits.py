@@ -1,0 +1,85 @@
+"""Unit tests for universe selection and Table 1 splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MarketGenerator,
+    TABLE1_WINDOWS,
+    ExperimentWindow,
+    get_window,
+    parse_date,
+    top_volume_assets,
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return MarketGenerator(seed=13).generate("2019/01/01", "2019/06/01", 7200)
+
+
+class TestSelection:
+    def test_top_k_count_and_uniqueness(self, panel):
+        names = top_volume_assets(panel, "2019/04/14", k=11)
+        assert len(names) == 11
+        assert len(set(names)) == 11
+
+    def test_ranking_matches_manual(self, panel):
+        as_of = parse_date("2019/04/14")
+        end = int(np.searchsorted(panel.timestamps, as_of))
+        window = int(30 * 86400 / panel.period_seconds)
+        totals = panel.volume[end - window : end].sum(axis=0)
+        manual = [panel.names[j] for j in np.argsort(-totals)[:3]]
+        assert top_volume_assets(panel, "2019/04/14", k=3) == manual
+
+    def test_btc_always_first(self, panel):
+        # BTC has by far the deepest liquidity in the default universe.
+        assert top_volume_assets(panel, "2019/04/14", k=5)[0] == "BTC"
+
+    def test_k_too_large(self, panel):
+        with pytest.raises(ValueError):
+            top_volume_assets(panel, "2019/04/14", k=999)
+
+    def test_as_of_before_history(self, panel):
+        with pytest.raises(ValueError):
+            top_volume_assets(panel, "2018/01/01", k=3)
+
+
+class TestTable1:
+    def test_verbatim_dates(self):
+        w1 = get_window(1)
+        assert w1.train_start == "2016/08/01"
+        assert w1.test_start == "2019/04/14"
+        assert w1.test_end == "2019/08/01"
+        assert get_window(2).test_start == "2020/04/14"
+        assert get_window(3).test_end == "2021/08/01"
+
+    def test_three_year_total(self):
+        for exp in (1, 2, 3):
+            w = get_window(exp)
+            years = w.total_seconds / (365.25 * 86400)
+            assert 2.9 < years < 3.1
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_window(4)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentWindow(9, "2020/01/01", "2019/01/01", "2021/01/01")
+
+
+class TestSplit:
+    def test_no_overlap_no_gap(self, panel):
+        w = ExperimentWindow(9, "2019/01/05", "2019/04/01", "2019/05/20")
+        train, test = w.split(panel)
+        # The single overlap period is the last training close used to
+        # anchor the first test price relative.
+        assert test.timestamps[0] == train.timestamps[-1]
+        assert train.timestamps[0] >= parse_date("2019/01/05")
+        assert test.timestamps[-1] < parse_date("2019/05/20")
+
+    def test_split_boundaries_no_leak(self, panel):
+        w = ExperimentWindow(9, "2019/01/05", "2019/04/01", "2019/05/20")
+        train, _ = w.split(panel)
+        assert train.timestamps[-1] < parse_date("2019/04/01")

@@ -1,0 +1,121 @@
+"""Unit tests for the transaction remainder factor μ_t."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.envs import (
+    drifted_weights,
+    transaction_remainder_approx,
+    transaction_remainder_exact,
+)
+
+
+def simplex(rng, n):
+    w = rng.random(n)
+    return w / w.sum()
+
+
+class TestExact:
+    def test_no_trade_no_cost(self):
+        w = np.array([0.2, 0.5, 0.3])
+        assert transaction_remainder_exact(w, w) == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_commission(self):
+        rng = np.random.default_rng(0)
+        assert transaction_remainder_exact(
+            simplex(rng, 4), simplex(rng, 4), 0.0, 0.0
+        ) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            mu = transaction_remainder_exact(simplex(rng, 5), simplex(rng, 5))
+            assert 0.0 < mu <= 1.0
+
+    def test_full_swap_cost(self):
+        # All-in asset 1 -> all-in asset 2: sell everything (0.25%) and
+        # buy everything with the remainder (0.25%).
+        w1 = np.array([0.0, 1.0, 0.0])
+        w2 = np.array([0.0, 0.0, 1.0])
+        mu = transaction_remainder_exact(w1, w2, 0.0025, 0.0025)
+        assert mu == pytest.approx((1 - 0.0025) * (1 - 0.0025), rel=1e-6)
+
+    def test_fixed_point_property(self):
+        # mu must satisfy its own defining equation.
+        rng = np.random.default_rng(2)
+        cp = cs = 0.0025
+        w_prime, w = simplex(rng, 6), simplex(rng, 6)
+        mu = transaction_remainder_exact(w_prime, w, cp, cs)
+        combined = cs + cp - cs * cp
+        sell = np.maximum(w_prime[1:] - mu * w[1:], 0.0).sum()
+        rhs = (1 - cp * w_prime[0] - combined * sell) / (1 - cp * w[0])
+        assert mu == pytest.approx(rhs, abs=1e-9)
+
+    def test_monotone_in_turnover(self):
+        w = np.array([0.25, 0.25, 0.25, 0.25])
+        near = np.array([0.3, 0.2, 0.25, 0.25])
+        far = np.array([0.9, 0.1, 0.0, 0.0])
+        assert transaction_remainder_exact(w, near) > transaction_remainder_exact(w, far)
+
+    def test_validation(self):
+        good = np.array([0.5, 0.5])
+        with pytest.raises(ValueError):
+            transaction_remainder_exact(np.array([0.5, 0.6]), good)
+        with pytest.raises(ValueError):
+            transaction_remainder_exact(np.array([-0.1, 1.1]), good)
+        with pytest.raises(ValueError):
+            transaction_remainder_exact(good, good, commission_purchase=1.5)
+
+
+class TestApprox:
+    def test_close_to_exact_small_commission(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            w_prime, w = simplex(rng, 5), simplex(rng, 5)
+            exact = transaction_remainder_exact(w_prime, w, 0.0025, 0.0025)
+            approx = float(
+                transaction_remainder_approx(w_prime, w, 0.0025).data
+            )
+            assert approx == pytest.approx(exact, abs=0.003)
+
+    def test_batched(self):
+        rng = np.random.default_rng(4)
+        w_prime = np.stack([simplex(rng, 4) for _ in range(6)])
+        w = np.stack([simplex(rng, 4) for _ in range(6)])
+        mu = transaction_remainder_approx(w_prime, w, 0.0025)
+        assert mu.shape == (6,)
+        assert np.all(mu.data > 0) and np.all(mu.data <= 1.0)
+
+    def test_differentiable(self):
+        w_prime = Tensor(np.array([[0.5, 0.3, 0.2]]))
+        w = Tensor(np.array([[0.2, 0.4, 0.4]]), requires_grad=True)
+        mu = transaction_remainder_approx(w_prime, w, 0.01)
+        mu.sum().backward()
+        assert w.grad is not None
+
+    def test_no_trade_unity(self):
+        w = np.array([0.4, 0.6])
+        assert float(transaction_remainder_approx(w, w).data) == pytest.approx(1.0)
+
+
+class TestDrift:
+    def test_drift_formula(self):
+        w = np.array([0.5, 0.25, 0.25])
+        y = np.array([1.0, 2.0, 1.0])
+        out = drifted_weights(w, y)
+        expected = np.array([0.5, 0.5, 0.25]) / 1.25
+        assert np.allclose(out, expected)
+
+    def test_drift_stays_on_simplex(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            w = simplex(rng, 6)
+            y = np.concatenate([[1.0], rng.uniform(0.5, 2.0, 5)])
+            out = drifted_weights(w, y)
+            assert out.sum() == pytest.approx(1.0)
+            assert np.all(out >= 0)
+
+    def test_unmoved_prices_identity(self):
+        w = np.array([0.3, 0.7])
+        assert np.allclose(drifted_weights(w, np.ones(2)), w)

@@ -1,0 +1,130 @@
+"""Unit tests for observation construction (price tensors, SDP states)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketGenerator
+from repro.envs import (
+    ObservationConfig,
+    price_tensor,
+    price_tensor_batch,
+    sdp_state,
+    sdp_state_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return MarketGenerator(seed=17).generate("2019/01/01", "2019/03/01", 7200)
+
+
+CFG = ObservationConfig(window=8, stride=1, momentum_horizons=(1, 3, 9))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObservationConfig(window=0)
+        with pytest.raises(ValueError):
+            ObservationConfig(stride=0)
+        with pytest.raises(ValueError):
+            ObservationConfig(log_scale=-1.0)
+        with pytest.raises(ValueError):
+            ObservationConfig(momentum_horizons=())
+
+    def test_lookback(self):
+        assert ObservationConfig(window=10, stride=3).lookback_periods == 28
+
+    def test_first_decision_covers_momentum(self):
+        cfg = ObservationConfig(window=4, stride=1, momentum_horizons=(1, 36))
+        assert cfg.first_decision_index() == 36
+
+    def test_state_dim(self):
+        cfg = ObservationConfig(momentum_horizons=(1, 3, 9))
+        # per asset: 3 horizons + 3 candle features, plus A+1 weights
+        assert cfg.sdp_state_dim(11) == 11 * 6 + 12
+
+
+class TestPriceTensor:
+    def test_shape(self, panel):
+        t = 20
+        out = price_tensor(panel, t, CFG)
+        assert out.shape == (4, panel.n_assets, 8)
+
+    def test_last_close_normalised(self, panel):
+        out = price_tensor(panel, 25, CFG)
+        assert np.allclose(out[0, :, -1], 1.0)  # close feature, last step
+
+    def test_batch_matches_single(self, panel):
+        idx = np.array([10, 20, 30])
+        batch = price_tensor_batch(panel, idx, CFG)
+        for i, t in enumerate(idx):
+            assert np.allclose(batch[i], price_tensor(panel, int(t), CFG))
+
+    def test_stride_samples_correct_periods(self, panel):
+        cfg = ObservationConfig(window=3, stride=4, momentum_horizons=(1,))
+        t = 30
+        out = price_tensor(panel, t, cfg)
+        # close feature: samples at t-8, t-4, t
+        expected = panel.close[[t - 8, t - 4, t], 0] / panel.close[t, 0]
+        assert np.allclose(out[0, 0, :], expected)
+
+    def test_out_of_range(self, panel):
+        with pytest.raises(IndexError):
+            price_tensor(panel, 2, CFG)
+        with pytest.raises(IndexError):
+            price_tensor(panel, panel.n_periods, CFG)
+
+
+class TestSDPState:
+    def test_shape_and_range(self, panel):
+        w = np.full(panel.n_assets + 1, 1.0 / (panel.n_assets + 1))
+        s = sdp_state(panel, 40, w, CFG)
+        assert s.shape == (CFG.sdp_state_dim(panel.n_assets),)
+        assert np.all(s >= -1.0) and np.all(s <= 1.0)
+
+    def test_momentum_block_sign(self, panel):
+        # If an asset rose over horizon h, its momentum feature is > 0.
+        w = np.full(panel.n_assets + 1, 1.0 / (panel.n_assets + 1))
+        t = 40
+        s = sdp_state(panel, t, w, CFG)
+        h = CFG.momentum_horizons[0]
+        rose = panel.close[t] > panel.close[t - h]
+        feat = s[: panel.n_assets]
+        assert np.all((feat > 0) == rose)
+
+    def test_weight_block_mapping(self, panel):
+        w = np.zeros(panel.n_assets + 1)
+        w[0] = 1.0
+        s = sdp_state(panel, 40, w, CFG)
+        tail = s[-(panel.n_assets + 1):]
+        assert tail[0] == pytest.approx(1.0)
+        assert np.allclose(tail[1:], -1.0)
+
+    def test_batch_matches_single(self, panel):
+        rng = np.random.default_rng(0)
+        idx = np.array([38, 42])
+        w = rng.dirichlet(np.ones(panel.n_assets + 1), size=2)
+        batch = sdp_state_batch(panel, idx, w, CFG)
+        for i, t in enumerate(idx):
+            assert np.allclose(batch[i], sdp_state(panel, int(t), w[i], CFG))
+
+    def test_no_lookahead(self, panel):
+        """Perturbing future prices must not change the observation."""
+        w = np.full(panel.n_assets + 1, 1.0 / (panel.n_assets + 1))
+        t = 50
+        base = sdp_state(panel, t, w, CFG)
+        tensor_base = price_tensor(panel, t, CFG)
+
+        tampered = panel.slice_time(None, None)  # deep copy via _take
+        tampered.close[t + 1 :] *= 7.0
+        tampered.high[t + 1 :] *= 7.0
+        tampered.low[t + 1 :] *= 7.0
+        tampered.open[t + 2 :] *= 7.0  # open[t+1] is close[t]
+
+        assert np.allclose(sdp_state(tampered, t, w, CFG), base)
+        assert np.allclose(price_tensor(tampered, t, CFG), tensor_base)
+
+    def test_wrong_w_shape(self, panel):
+        with pytest.raises(ValueError):
+            sdp_state_batch(panel, np.array([40]), np.ones((1, 3)), CFG)

@@ -1,0 +1,136 @@
+"""Unit tests for the PortfolioEnv step accounting."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketGenerator
+from repro.envs import ObservationConfig, PortfolioEnv
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return MarketGenerator(seed=19).generate(
+        "2019/01/01", "2019/02/01", 7200
+    ).select_assets([0, 1, 2])
+
+
+CFG = ObservationConfig(window=4, stride=1, momentum_horizons=(1, 2))
+
+
+def make_env(panel, commission=0.0025):
+    return PortfolioEnv(panel, observation=CFG, commission=commission)
+
+
+class TestSetup:
+    def test_action_dim(self, panel):
+        env = make_env(panel)
+        assert env.action_dim == 4  # 3 assets + cash
+
+    def test_too_short_panel_raises(self, panel):
+        short = panel._take(slice(0, 3), [0, 1, 2])
+        with pytest.raises(ValueError):
+            PortfolioEnv(short, observation=CFG)
+
+    def test_initial_value(self, panel):
+        env = PortfolioEnv(panel, observation=CFG, initial_value=100.0)
+        assert env.portfolio_value == 100.0
+
+    def test_bad_initial_value(self, panel):
+        with pytest.raises(ValueError):
+            PortfolioEnv(panel, observation=CFG, initial_value=0.0)
+
+
+class TestStepAccounting:
+    def test_all_cash_is_flat(self, panel):
+        env = make_env(panel)
+        w = env.cash_weights()
+        for _ in range(10):
+            result = env.step(w)
+        assert env.portfolio_value == pytest.approx(1.0)
+        assert result.reward == pytest.approx(0.0)
+
+    def test_value_identity(self, panel):
+        """p_T = p_0 · Π μ_t (y_t · w_t) and reward telescoping."""
+        env = make_env(panel)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            w = rng.dirichlet(np.ones(env.action_dim))
+            env.step(w)
+        product = np.exp(np.sum(env.reward_history))
+        assert env.portfolio_value == pytest.approx(product, rel=1e-9)
+
+    def test_single_asset_tracks_price(self, panel):
+        env = make_env(panel, commission=0.0)
+        w = np.array([0.0, 1.0, 0.0, 0.0])
+        t0 = env.t
+        for _ in range(10):
+            env.step(w)
+        expected = panel.close[env.t, 0] / panel.close[t0, 0]
+        assert env.portfolio_value == pytest.approx(expected, rel=1e-9)
+
+    def test_commission_reduces_value(self, panel):
+        rng = np.random.default_rng(1)
+        actions = [rng.dirichlet(np.ones(4)) for _ in range(10)]
+        env_free = make_env(panel, commission=0.0)
+        env_paid = make_env(panel, commission=0.01)
+        for a in actions:
+            env_free.step(a)
+            env_paid.step(a)
+        assert env_paid.portfolio_value < env_free.portfolio_value
+
+    def test_mu_recorded(self, panel):
+        env = make_env(panel)
+        env.step(env.uniform_weights())
+        assert 0 < env.mu_history[0] <= 1.0
+
+
+class TestValidation:
+    def test_wrong_shape(self, panel):
+        env = make_env(panel)
+        with pytest.raises(ValueError):
+            env.step(np.ones(3) / 3)
+
+    def test_not_simplex(self, panel):
+        env = make_env(panel)
+        with pytest.raises(ValueError):
+            env.step(np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_negative_weights(self, panel):
+        env = make_env(panel)
+        with pytest.raises(ValueError):
+            env.step(np.array([1.5, -0.5, 0.0, 0.0]))
+
+    def test_step_after_done_raises(self, panel):
+        env = make_env(panel)
+        w = env.uniform_weights()
+        done = False
+        while not done:
+            done = env.step(w).done
+        with pytest.raises(RuntimeError):
+            env.step(w)
+
+    def test_reset_restores(self, panel):
+        env = make_env(panel)
+        env.step(env.uniform_weights())
+        env.reset()
+        assert env.portfolio_value == 1.0
+        assert env.reward_history == []
+
+
+class TestEpisode:
+    def test_num_decisions(self, panel):
+        env = make_env(panel)
+        count = 0
+        done = False
+        while not done:
+            done = env.step(env.uniform_weights()).done
+            count += 1
+        assert count == env.num_decisions
+
+    def test_average_log_return_matches_eq1(self, panel):
+        env = make_env(panel)
+        for _ in range(5):
+            env.step(env.uniform_weights())
+        assert env.average_log_return() == pytest.approx(
+            np.mean(env.reward_history)
+        )

@@ -1,0 +1,102 @@
+"""Unit tests for eq. (14) quantization and chip placement."""
+
+import numpy as np
+import pytest
+
+from repro.loihi import (
+    LoihiSpec,
+    placement,
+    quantize_layer,
+    quantize_network,
+)
+from repro.snn import SDPConfig, SDPNetwork, SpikingLinear
+
+
+def small_network():
+    cfg = SDPConfig(
+        state_dim=4, num_actions=3, hidden_sizes=(16, 16), timesteps=5,
+        encoder_pop_size=4, decoder_pop_size=4,
+    )
+    return SDPNetwork(cfg, rng=np.random.default_rng(0))
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = LoihiSpec()
+        assert spec.weight_max == 254
+        assert spec.weight_step == 2
+        assert spec.num_cores == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoihiSpec(weight_max=0)
+        with pytest.raises(ValueError):
+            LoihiSpec(weight_max=10, weight_step=3)
+
+
+class TestQuantizeLayer:
+    def test_eq14_ratio(self):
+        layer = SpikingLinear(8, 4, rng=np.random.default_rng(1))
+        q = quantize_layer(layer)
+        w_max = np.abs(layer.weight.data).max()
+        assert q.ratio == pytest.approx(254.0 / w_max)
+
+    def test_weights_on_grid(self):
+        layer = SpikingLinear(8, 4, rng=np.random.default_rng(1))
+        q = quantize_layer(layer)
+        assert np.all(np.abs(q.weight) <= 254)
+        assert np.all(q.weight % 2 == 0)
+
+    def test_threshold_scaled(self):
+        layer = SpikingLinear(8, 4, rng=np.random.default_rng(1))
+        q = quantize_layer(layer)
+        assert q.v_threshold == round(q.ratio * layer.lif.v_threshold)
+        assert q.v_threshold > 0
+
+    def test_roundtrip_error_bounded(self):
+        layer = SpikingLinear(16, 8, rng=np.random.default_rng(2))
+        q = quantize_layer(layer)
+        # Dequantised weights deviate at most one grid step / ratio.
+        err = np.abs(q.dequantized_weight() - layer.weight.data).max()
+        assert err <= 2.0 / q.ratio + 1e-12
+
+    def test_decays_12bit(self):
+        layer = SpikingLinear(4, 4, rng=np.random.default_rng(3))
+        q = quantize_layer(layer)
+        assert q.current_decay == round(0.5 * 4096)
+        assert q.voltage_decay == round(0.80 * 4096)
+
+
+class TestQuantizeNetwork:
+    def test_all_layers_quantized(self):
+        net = small_network()
+        q = quantize_network(net)
+        assert len(q.layers) == 3
+        assert q.timesteps == 5
+        assert q.num_neurons == sum(l.out_features for l in q.layers)
+
+    def test_decoder_kept_float(self):
+        net = small_network()
+        q = quantize_network(net)
+        assert np.allclose(q.decoder_weight, net.decoder.weight.data)
+        assert q.decoder_weight.dtype == np.float64
+
+
+class TestPlacement:
+    def test_small_network_fits(self):
+        report = placement(quantize_network(small_network()))
+        assert report.fits()
+        assert report.cores_used >= 1
+
+    def test_utilization_fractions(self):
+        report = placement(quantize_network(small_network()))
+        assert 0 < report.neuron_utilization < 1
+        assert 0 < report.synapse_utilization < 1
+
+    def test_capacity_math(self):
+        q = quantize_network(small_network())
+        spec = LoihiSpec(neurons_per_core=8, synapses_per_core=100, num_cores=1000)
+        report = placement(q, spec)
+        assert report.cores_used == max(
+            int(np.ceil(q.num_neurons / 8)), int(np.ceil(q.num_synapses / 100))
+        )

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, unbroadcast
+from repro.autograd import functional as F
+from repro.baselines import project_to_simplex
+from repro.envs import (
+    drifted_weights,
+    transaction_remainder_approx,
+    transaction_remainder_exact,
+)
+from repro.metrics import final_apv, max_drawdown, sharpe_ratio
+from repro.snn import EncoderConfig, PopulationEncoder
+
+
+def simplex_arrays(min_size=2, max_size=8):
+    return (
+        hnp.arrays(
+            np.float64,
+            st.integers(min_size, max_size),
+            elements=st.floats(0.01, 10.0),
+        )
+        .map(lambda v: v / v.sum())
+    )
+
+
+positive_series = hnp.arrays(
+    np.float64,
+    st.integers(2, 60),
+    elements=st.floats(0.05, 50.0),
+)
+
+
+class TestCostProperties:
+    @given(simplex_arrays(), simplex_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_mu_in_unit_interval(self, a, b):
+        n = min(a.size, b.size)
+        a, b = a[:n] / a[:n].sum(), b[:n] / b[:n].sum()
+        mu = transaction_remainder_exact(a, b, 0.0025, 0.0025)
+        assert 0.0 < mu <= 1.0
+
+    @given(simplex_arrays(), simplex_arrays(), st.floats(0.0, 0.01))
+    @settings(max_examples=60, deadline=None)
+    def test_approx_upper_bounds_exact(self, a, b, c):
+        """The linear approximation never undercharges by much."""
+        n = min(a.size, b.size)
+        a, b = a[:n] / a[:n].sum(), b[:n] / b[:n].sum()
+        exact = transaction_remainder_exact(a, b, c, c)
+        approx = float(transaction_remainder_approx(a, b, c).data)
+        assert abs(approx - exact) <= 2 * c + 1e-9
+
+    @given(simplex_arrays(min_size=3, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_drift_preserves_simplex(self, w):
+        rng = np.random.default_rng(0)
+        y = np.concatenate([[1.0], rng.uniform(0.2, 5.0, w.size - 1)])
+        out = drifted_weights(w, y)
+        assert abs(out.sum() - 1.0) < 1e-9
+        assert np.all(out >= 0)
+
+
+class TestMetricProperties:
+    @given(positive_series)
+    @settings(max_examples=60, deadline=None)
+    def test_mdd_in_unit_interval(self, values):
+        mdd = max_drawdown(values)
+        assert 0.0 <= mdd < 1.0
+
+    @given(positive_series)
+    @settings(max_examples=60, deadline=None)
+    def test_fapv_scale_invariant(self, values):
+        assert final_apv(values * 3.0) == pytest.approx(
+            final_apv(values), rel=1e-12
+        )
+
+    @given(positive_series, st.floats(1.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mdd_invariant_under_scaling(self, values, k):
+        assert max_drawdown(values * k) == pytest.approx(
+            max_drawdown(values), abs=1e-12
+        )
+
+    @given(positive_series)
+    @settings(max_examples=40, deadline=None)
+    def test_sharpe_finite(self, values):
+        assert np.isfinite(sharpe_ratio(values))
+
+
+class TestSimplexProjection:
+    @given(hnp.arrays(np.float64, st.integers(2, 10),
+                      elements=st.floats(-5.0, 5.0)))
+    @settings(max_examples=80, deadline=None)
+    def test_projection_valid(self, v):
+        out = project_to_simplex(v)
+        assert abs(out.sum() - 1.0) < 1e-9
+        assert np.all(out >= 0)
+
+    @given(simplex_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_idempotent_on_simplex(self, w):
+        assert np.allclose(project_to_simplex(w), w, atol=1e-9)
+
+
+class TestEncoderProperties:
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.just(3)),
+                      elements=st.floats(-1.0, 1.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_stimulation_in_unit_interval(self, states):
+        enc = PopulationEncoder(
+            EncoderConfig(state_dim=3, pop_size=6),
+            rng=np.random.default_rng(0),
+        )
+        drive = enc.stimulation(states)
+        assert np.all(drive > 0)
+        assert np.all(drive <= 1.0)
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 3), st.just(2)),
+                      elements=st.floats(-1.0, 1.0)),
+           st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_spike_count_bounded_by_timesteps(self, states, T):
+        enc = PopulationEncoder(
+            EncoderConfig(state_dim=2, pop_size=4),
+            rng=np.random.default_rng(0),
+        )
+        counts = enc.encode(states, T).sum(axis=0)
+        assert np.all(counts <= T)
+        assert np.all(counts >= 0)
+
+
+class TestAutogradProperties:
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                      elements=st.floats(-10, 10)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_simplex(self, x):
+        out = F.softmax(Tensor(x), axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+        assert np.all(out.data >= 0)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, a, b, lead):
+        shape = (a, b)
+        grad = np.ones((lead,) + shape)
+        out = unbroadcast(grad, shape)
+        assert out.shape == shape
+        assert np.allclose(out, lead)

@@ -1,0 +1,64 @@
+"""Unit tests for the population decoder (eqs. (8)-(10))."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import PopulationDecoder
+
+
+def make_decoder(n=3, pop=4):
+    return PopulationDecoder(n, pop, rng=np.random.default_rng(0))
+
+
+class TestDecoder:
+    def test_output_on_simplex(self):
+        dec = make_decoder()
+        sums = Tensor(np.random.default_rng(1).integers(0, 6, (5, 12)).astype(float))
+        out = dec(sums, timesteps=5)
+        assert out.shape == (5, 3)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+        assert np.all(out.data >= 0)
+
+    def test_zero_spikes_gives_softmax_of_bias(self):
+        dec = make_decoder()
+        out = dec(Tensor(np.zeros((1, 12))), timesteps=5)
+        b = dec.bias.data
+        expected = np.exp(b - b.max())
+        expected /= expected.sum()
+        assert np.allclose(out.data[0], expected)
+
+    def test_higher_rate_higher_weight(self):
+        dec = make_decoder(n=2, pop=2)
+        dec.weight.data = np.ones((2, 2))
+        dec.bias.data = np.zeros(2)
+        # Action 0's population fires more.
+        sums = Tensor(np.array([[5.0, 5.0, 1.0, 1.0]]))
+        out = dec(sums, timesteps=5)
+        assert out.data[0, 0] > out.data[0, 1]
+
+    def test_gradients_flow(self):
+        dec = make_decoder()
+        sums = Tensor(np.random.default_rng(2).random((4, 12)) * 5)
+        out = dec(sums, timesteps=5)
+        (-out[:, 0].log().mean()).backward()
+        assert dec.weight.grad is not None
+        assert dec.bias.grad is not None
+        assert np.any(dec.weight.grad != 0)
+
+    def test_num_neurons(self):
+        assert make_decoder(n=4, pop=7).num_neurons == 28
+
+    def test_firing_rates_helper(self):
+        dec = make_decoder(n=2, pop=3)
+        rates = dec.firing_rates(np.full((1, 6), 5.0), timesteps=5)
+        assert rates.shape == (1, 2, 3)
+        assert np.allclose(rates, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationDecoder(0, 4)
+        with pytest.raises(ValueError):
+            PopulationDecoder(3, 0)
+        with pytest.raises(ValueError):
+            make_decoder()(Tensor(np.zeros((1, 12))), timesteps=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the Gaussian population encoder (eqs. (2)-(4))."""
+
+import numpy as np
+import pytest
+
+from repro.snn import EncoderConfig, PopulationEncoder
+from repro.snn.neurons import integrate_and_fire_rate
+
+
+def make_encoder(**kwargs):
+    cfg = EncoderConfig(state_dim=kwargs.pop("state_dim", 2), **kwargs)
+    return PopulationEncoder(cfg, rng=np.random.default_rng(0))
+
+
+class TestConfigValidation:
+    def test_bad_state_dim(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(state_dim=0)
+
+    def test_bad_pop_size(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(state_dim=1, pop_size=1)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(state_dim=1, v_min=1.0, v_max=-1.0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(state_dim=1, mode="quantum")
+
+    def test_num_neurons(self):
+        assert EncoderConfig(state_dim=3, pop_size=10).num_neurons == 30
+
+
+class TestStimulation:
+    def test_shape(self):
+        enc = make_encoder(pop_size=10)
+        out = enc.stimulation(np.zeros((5, 2)))
+        assert out.shape == (5, 20)
+
+    def test_peak_at_mean(self):
+        enc = make_encoder(state_dim=1, pop_size=5)
+        # State exactly at the middle receptive-field mean.
+        out = enc.stimulation(np.array([[enc.means[2]]]))[0]
+        assert np.argmax(out) == 2
+        assert out[2] == pytest.approx(1.0)
+
+    def test_nonzero_everywhere(self):
+        # "a considerable predetermined value of non-zero population
+        # activity in all state spaces" — activity never vanishes.
+        enc = make_encoder(state_dim=1, pop_size=10)
+        states = np.linspace(-1, 1, 50)[:, None]
+        out = enc.stimulation(states)
+        assert np.all(out.max(axis=1) > 0.1)
+
+    def test_monotone_decay_from_mean(self):
+        enc = make_encoder(state_dim=1, pop_size=5)
+        mu = enc.means[2]
+        a = enc.stimulation(np.array([[mu]]))[0][2]
+        b = enc.stimulation(np.array([[mu + 0.1]]))[0][2]
+        c = enc.stimulation(np.array([[mu + 0.3]]))[0][2]
+        assert a > b > c
+
+    def test_wrong_dim_raises(self):
+        enc = make_encoder()
+        with pytest.raises(ValueError):
+            enc.stimulation(np.zeros((3, 5)))
+
+    def test_1d_input_promoted(self):
+        enc = make_encoder()
+        assert enc.stimulation(np.zeros(2)).shape == (1, 20)
+
+
+class TestDeterministicEncoding:
+    def test_shape_and_binary(self):
+        enc = make_encoder()
+        spikes = enc.encode(np.zeros((3, 2)), timesteps=5)
+        assert spikes.shape == (5, 3, 20)
+        assert set(np.unique(spikes)) <= {0.0, 1.0}
+
+    def test_spike_count_matches_accumulator(self):
+        # Total spikes over T steps equals the closed-form soft-reset count.
+        enc = make_encoder(state_dim=1, pop_size=4)
+        states = np.array([[0.3]])
+        T = 20
+        spikes = enc.encode(states, T).sum(axis=0)[0]
+        drive = enc.stimulation(states)[0]
+        expected = integrate_and_fire_rate(drive, T, enc.config.epsilon)
+        assert np.allclose(spikes, expected)
+
+    def test_deterministic_reproducible(self):
+        enc = make_encoder()
+        s = np.random.default_rng(1).uniform(-1, 1, (4, 2))
+        assert np.array_equal(enc.encode(s, 5), enc.encode(s, 5))
+
+    def test_rate_increases_with_drive(self):
+        # The neuron whose mean matches the state fires more than when
+        # the state moves away from its receptive field.
+        enc = make_encoder(state_dim=1, pop_size=3)
+        mu = enc.means[1]
+        near = enc.encode(np.array([[mu]]), 20)[:, 0, 1].sum()
+        far = enc.encode(np.array([[mu + 0.7]]), 20)[:, 0, 1].sum()
+        assert near > far
+
+    def test_bad_timesteps(self):
+        with pytest.raises(ValueError):
+            make_encoder().encode(np.zeros((1, 2)), 0)
+
+
+class TestProbabilisticEncoding:
+    def test_empirical_rate_matches_drive(self):
+        enc = make_encoder(state_dim=1, pop_size=3, mode="probabilistic")
+        states = np.array([[0.0]])
+        T = 4000
+        spikes = enc.encode(states, T)
+        rate = spikes.mean(axis=0)[0]
+        drive = np.clip(enc.stimulation(states)[0], 0, 1)
+        assert np.allclose(rate, drive, atol=0.05)
+
+    def test_expected_rate_helper(self):
+        enc_d = make_encoder(state_dim=1, pop_size=3)
+        enc_p = make_encoder(state_dim=1, pop_size=3, mode="probabilistic")
+        s = np.array([[0.2]])
+        assert np.all(enc_d.expected_rate(s) <= 1.0)
+        assert np.all(enc_p.expected_rate(s) <= 1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for spiking layers, stacks, and the SDP network (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import (
+    LIFParameters,
+    SDPConfig,
+    SDPNetwork,
+    SpikingLinear,
+    SpikingStack,
+)
+
+
+def small_network(state_dim=4, actions=3, T=5):
+    cfg = SDPConfig(
+        state_dim=state_dim,
+        num_actions=actions,
+        hidden_sizes=(16, 16),
+        timesteps=T,
+        encoder_pop_size=4,
+        decoder_pop_size=4,
+    )
+    return SDPNetwork(cfg, rng=np.random.default_rng(0))
+
+
+class TestSpikingLinear:
+    def test_requires_reset(self):
+        layer = SpikingLinear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.step(Tensor(np.zeros((1, 4))))
+
+    def test_step_shapes(self):
+        layer = SpikingLinear(4, 3, rng=np.random.default_rng(0))
+        layer.reset(2)
+        out = layer.step(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SpikingLinear(0, 3)
+
+    def test_stack_size_mismatch(self):
+        a = SpikingLinear(4, 3, rng=np.random.default_rng(0))
+        b = SpikingLinear(5, 2, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            SpikingStack([a, b])
+
+    def test_stack_empty(self):
+        with pytest.raises(ValueError):
+            SpikingStack([])
+
+
+class TestSDPConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SDPConfig(state_dim=4, num_actions=1)
+        with pytest.raises(ValueError):
+            SDPConfig(state_dim=4, num_actions=3, timesteps=0)
+        with pytest.raises(ValueError):
+            SDPConfig(state_dim=4, num_actions=3, hidden_sizes=())
+
+
+class TestSDPNetwork:
+    def test_forward_simplex(self):
+        net = small_network()
+        states = np.random.default_rng(1).uniform(-1, 1, (6, 4))
+        out = net.forward(states)
+        assert out.shape == (6, 3)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+        assert np.all(out.data >= 0)
+
+    def test_single_state_act(self):
+        net = small_network()
+        a = net.act(np.zeros(4))
+        assert a.shape == (3,)
+        assert np.isclose(a.sum(), 1.0)
+
+    def test_forward_deterministic(self):
+        net = small_network()
+        s = np.random.default_rng(2).uniform(-1, 1, (3, 4))
+        assert np.allclose(net.forward(s).data, net.forward(s).data)
+
+    def test_timestep_override(self):
+        net = small_network(T=5)
+        s = np.zeros((1, 4))
+        out = net.forward(s, timesteps=2)
+        assert out.shape == (1, 3)
+
+    def test_gradients_reach_all_parameters(self):
+        net = small_network()
+        s = np.random.default_rng(3).uniform(-1, 1, (8, 4))
+        out = net.forward(s)
+        (-out[:, 0].log().mean()).backward()
+        for name, p in net.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+
+    def test_layer_sizes(self):
+        net = small_network()
+        sizes = net.layer_sizes()
+        assert sizes[0][0] == 16  # 4 dims * pop 4
+        assert sizes[-1][1] == 12  # 3 actions * pop 4
+
+    def test_activity_record(self):
+        net = small_network()
+        s = np.random.default_rng(4).uniform(-1, 1, (4, 4))
+        out, act = net.forward_with_activity(s)
+        assert act.batch_size == 4
+        assert act.timesteps == 5
+        assert act.total_synops >= 0
+        assert len(act.layer_spikes) == 3
+        per = act.per_inference()
+        assert per.batch_size == 1
+        assert per.total_synops == pytest.approx(act.total_synops / 4)
+
+    def test_activity_consistent_with_forward(self):
+        net = small_network()
+        s = np.random.default_rng(5).uniform(-1, 1, (2, 4))
+        a1 = net.forward(s).data
+        a2, _ = net.forward_with_activity(s)
+        assert np.allclose(a1, a2.data)
+
+    def test_synops_bounded_by_dense(self):
+        # Event-driven synops can never exceed dense MACs (all-spiking).
+        net = small_network()
+        s = np.random.default_rng(6).uniform(-1, 1, (3, 4))
+        _, act = net.forward_with_activity(s)
+        dense = sum(i * o for i, o in net.layer_sizes()) * act.timesteps * 3
+        assert act.total_synops <= dense

@@ -1,0 +1,86 @@
+"""Unit tests for two-state LIF dynamics (eqs. (5)-(7) / Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import LIFParameters, LIFState, lif_step, rectangular, spike_function
+
+
+class TestLIFParameters:
+    def test_paper_defaults(self):
+        p = LIFParameters()
+        assert p.v_threshold == 0.5
+        assert p.current_decay == 0.5
+        assert p.voltage_decay == 0.80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LIFParameters(v_threshold=0.0)
+        with pytest.raises(ValueError):
+            LIFParameters(current_decay=1.5)
+        with pytest.raises(ValueError):
+            LIFParameters(voltage_decay=-0.1)
+
+
+class TestSpikeFunction:
+    def test_forward_threshold(self):
+        v = Tensor(np.array([0.4, 0.51, 0.5]), requires_grad=True)
+        out = spike_function(v, 0.5)
+        assert np.allclose(out.data, [0.0, 1.0, 0.0])  # strict >
+
+    def test_backward_uses_surrogate(self):
+        v = Tensor(np.array([0.5, 2.0]), requires_grad=True)
+        out = spike_function(v, 0.5, rectangular(amplifier=9.0, window=0.4))
+        out.sum().backward()
+        assert np.allclose(v.grad, [9.0, 0.0])
+
+
+class TestLIFStep:
+    def test_hand_computed_sequence(self):
+        # One neuron, constant drive 0.3; Vth=0.5, dc=0.5, dv=0.8.
+        params = LIFParameters()
+        state = LIFState.zeros((1, 1))
+        drive = Tensor(np.array([[0.3]]))
+
+        # t1: c=0.3, v=0.3, no spike
+        state = lif_step(drive, state, params)
+        assert np.allclose(state.current.data, 0.3)
+        assert np.allclose(state.voltage.data, 0.3)
+        assert np.allclose(state.spikes.data, 0.0)
+
+        # t2: c=0.45, v=0.8*0.3+0.45=0.69 > 0.5 -> spike
+        state = lif_step(drive, state, params)
+        assert np.allclose(state.current.data, 0.45)
+        assert np.allclose(state.voltage.data, 0.69)
+        assert np.allclose(state.spikes.data, 1.0)
+
+        # t3: reset gate zeroes the decayed voltage: v = 0 + c
+        state = lif_step(drive, state, params)
+        assert np.allclose(state.current.data, 0.525)
+        assert np.allclose(state.voltage.data, 0.525)
+        assert np.allclose(state.spikes.data, 1.0)
+
+    def test_no_drive_no_spike(self):
+        params = LIFParameters()
+        state = LIFState.zeros((2, 3))
+        for _ in range(5):
+            state = lif_step(Tensor(np.zeros((2, 3))), state, params)
+        assert np.allclose(state.spikes.data, 0.0)
+
+    def test_gradient_flows_through_time(self):
+        params = LIFParameters()
+        drive = Tensor(np.full((1, 2), 0.3), requires_grad=True)
+        state = LIFState.zeros((1, 2))
+        total = Tensor(np.zeros((1, 2)))
+        for _ in range(4):
+            state = lif_step(drive, state, params)
+            total = total + state.spikes
+        total.sum().backward()
+        assert drive.grad is not None
+        assert np.any(drive.grad != 0.0)
+
+    def test_zeros_factory(self):
+        s = LIFState.zeros((3, 4))
+        assert s.current.shape == (3, 4)
+        assert np.allclose(s.voltage.data, 0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for surrogate gradients (eq. (11))."""
+
+import numpy as np
+import pytest
+
+from repro.snn import arctan, fast_sigmoid, get_surrogate, rectangular, triangular
+
+
+class TestRectangular:
+    def test_inside_window(self):
+        z = rectangular(amplifier=9.0, window=0.4)
+        v = np.array([0.5, 0.7, 0.89, 0.11])
+        out = z(v, 0.5)
+        assert np.allclose(out, [9.0, 9.0, 9.0, 9.0])
+
+    def test_outside_window(self):
+        z = rectangular(amplifier=9.0, window=0.4)
+        v = np.array([1.0, -0.1, 2.0])
+        assert np.allclose(z(v, 0.5), 0.0)
+
+    def test_boundary_is_open(self):
+        z = rectangular(amplifier=1.0, window=0.4)
+        assert z(np.array([0.9]), 0.5)[0] == 0.0  # |v-th| == window
+
+    def test_paper_defaults(self):
+        z = rectangular()
+        assert z(np.array([0.5]), 0.5)[0] == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rectangular(amplifier=-1.0)
+        with pytest.raises(ValueError):
+            rectangular(window=0.0)
+
+
+class TestAlternatives:
+    def test_triangular_peak_at_threshold(self):
+        z = triangular(scale=2.0, width=1.0)
+        assert z(np.array([0.5]), 0.5)[0] == 2.0
+        assert z(np.array([1.5]), 0.5)[0] == 0.0
+
+    def test_fast_sigmoid_monotone_decay(self):
+        z = fast_sigmoid(slope=10.0)
+        vals = z(np.array([0.5, 0.6, 0.8]), 0.5)
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_arctan_symmetric(self):
+        z = arctan()
+        a = z(np.array([0.4]), 0.5)
+        b = z(np.array([0.6]), 0.5)
+        assert np.allclose(a, b)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        z = get_surrogate("rectangular", amplifier=3.0, window=0.1)
+        assert z.name == "rectangular"
+        assert z(np.array([0.5]), 0.5)[0] == 3.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_surrogate("nope")
+
+    def test_all_registered(self):
+        for name in ("rectangular", "triangular", "fast_sigmoid", "arctan"):
+            assert get_surrogate(name).name == name
