@@ -15,17 +15,60 @@ substrate the paper depends on:
   simulation, energy/latency device models (Table 4)
 * :mod:`repro.metrics` — fAPV, Sharpe, MDD (eqs. (15)–(17))
 * :mod:`repro.experiments` — end-to-end regeneration of Tables 3 & 4
+* :mod:`repro.registry` — string-keyed construction of every strategy
+* :mod:`repro.serving` — multi-session inference service (micro-batched
+  rebalance decisions, checkpointing, stdlib HTTP endpoint)
 
 Quickstart::
 
     from repro.experiments import make_config, run_experiment, render_table3
     result = run_experiment(make_config(1, profile="quick"))
     print(render_table3(result))
+
+Serving::
+
+    from repro import registry
+    from repro.experiments import build_experiment_data, make_config
+    from repro.serving import PortfolioService, RebalanceRequest
+
+    config = make_config(1, profile="quick")
+    panel = build_experiment_data(config).test
+
+    service = PortfolioService()
+    service.register_market("poloniex", panel)
+    for sid in ("alice", "bob"):
+        service.create_session(
+            sid, strategy="sdp",
+            params={"observation": config.observation,
+                    "hidden_sizes": config.hidden_sizes},
+            market="poloniex",
+        )
+    # Concurrent sessions on one stateless strategy share a single
+    # batched SNN forward per round:
+    responses = service.rebalance_many(
+        [RebalanceRequest("alice"), RebalanceRequest("bob")]
+    )
+
+See ``API.md`` for the Strategy protocol, registry names, and the
+serving request/response schema.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import agents, autograd, baselines, data, envs, experiments, loihi, metrics, snn, utils
+from . import (
+    agents,
+    autograd,
+    baselines,
+    data,
+    envs,
+    experiments,
+    loihi,
+    metrics,
+    registry,
+    serving,
+    snn,
+    utils,
+)
 
 __all__ = [
     "__version__",
@@ -37,6 +80,8 @@ __all__ = [
     "experiments",
     "loihi",
     "metrics",
+    "registry",
+    "serving",
     "snn",
     "utils",
 ]

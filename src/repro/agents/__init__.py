@@ -5,7 +5,7 @@ Both agents share the deterministic policy-gradient trainer
 (:func:`~repro.agents.base.run_backtest`).
 """
 
-from .base import Agent, BacktestResult, run_backtest
+from .base import Agent, BacktestResult, concat_states, run_backtest
 from .jiang import EIIENetwork, JiangDRLAgent
 from .sdp import SDPAgent
 from .trainer import PolicyTrainer, TrainConfig, TrainHistory
@@ -19,5 +19,6 @@ __all__ = [
     "SDPAgent",
     "TrainConfig",
     "TrainHistory",
+    "concat_states",
     "run_backtest",
 ]

@@ -1,30 +1,54 @@
-"""Agent interface and the shared back-test loop.
+"""The Strategy protocol shared by every policy in the repo.
 
-Every policy — spiking, deep, or classical — is back-tested through the
-same :func:`run_backtest` loop over :class:`~repro.envs.PortfolioEnv`,
-so Table 3 comparisons are apples-to-apples.
+Every policy — spiking, deep, or classical — implements :class:`Agent`:
+single-step :meth:`~Agent.act` for sequential loops, plus the public
+batched-inference pair :meth:`~Agent.prepare_states` /
+:meth:`~Agent.decide_batch` that vectorised engines
+(:class:`~repro.envs.backtester.Backtester`,
+:class:`~repro.serving.PortfolioService`) use to evaluate many decision
+points in one forward pass.  :func:`run_backtest` is the
+backward-compatible entry point; the engine itself lives in
+:mod:`repro.envs.backtester`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..data.market import MarketData
+from ..envs.backtester import Backtester, BacktestResult, concat_states
 from ..envs.costs import DEFAULT_COMMISSION
 from ..envs.observations import ObservationConfig
-from ..envs.portfolio import PortfolioEnv
-from ..metrics import BacktestMetrics, evaluate_backtest
+
+__all__ = [
+    "Agent",
+    "BacktestResult",
+    "concat_states",
+    "run_backtest",
+]
 
 
 class Agent(ABC):
-    """A policy mapping market history to portfolio weights."""
+    """A policy mapping market history to portfolio weights.
+
+    Subclasses must implement :meth:`act`; vectorised policies should
+    additionally override :meth:`prepare_states` / :meth:`decide_batch`
+    (the defaults fall back to looping :meth:`act`) and declare
+    ``stateless = True`` when inference is a pure function of its
+    inputs, which lets engines share one instance across concurrent
+    sessions and micro-batch their decisions.
+    """
 
     #: Human-readable name used in result tables.
     name: str = "agent"
+
+    #: True when ``act``/``decide_batch`` keep no per-run mutable state,
+    #: so one instance can serve many concurrent back-tests/sessions and
+    #: batched inference across them is sound.
+    stateless: bool = False
 
     @abstractmethod
     def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
@@ -38,35 +62,41 @@ class Agent(ABC):
     def begin_backtest(self, data: MarketData) -> None:
         """Hook called once before a back-test starts (stateful agents)."""
 
+    # -- batched inference (the serving/profiling fast path) -----------
+    def prepare_states(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> object:
+        """Inference states for a batch of decision points.
+
+        ``indices`` has shape ``(batch,)`` and ``w_prev`` shape
+        ``(batch, N)``.  The return value is an opaque batch consumed by
+        :meth:`decide_batch`; allowed containers are a batch-first numpy
+        array, a dict of such containers, or a plain list of per-row
+        items (so :func:`concat_states` can merge batches from
+        different panels).  The default keeps per-row tuples and gets no
+        speed-up; vectorised agents return array batches.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        w_prev = np.asarray(w_prev, dtype=np.float64)
+        if w_prev.ndim != 2 or w_prev.shape[0] != indices.shape[0]:
+            raise ValueError(
+                f"w_prev must have shape (batch, N) matching {indices.shape[0]} "
+                f"indices, got {w_prev.shape}"
+            )
+        return [(data, int(t), w_prev[i]) for i, t in enumerate(indices)]
+
+    def decide_batch(self, states: object) -> np.ndarray:
+        """Portfolio weights ``(batch, N)`` for a prepared state batch.
+
+        The default loops :meth:`act` row by row; vectorised agents
+        override it with one batched network forward.
+        """
+        return np.stack([self.act(data, t, w) for data, t, w in states])
+
     @property
     def action_noise(self) -> float:
         """Optional exploration noise level (0 for deterministic)."""
         return 0.0
-
-
-@dataclass
-class BacktestResult:
-    """Trajectory and metrics of one back-test run."""
-
-    agent_name: str
-    values: np.ndarray
-    weights: np.ndarray
-    rewards: np.ndarray
-    mus: np.ndarray
-    metrics: BacktestMetrics
-    extra: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def fapv(self) -> float:
-        return self.metrics.fapv
-
-    @property
-    def sharpe(self) -> float:
-        return self.metrics.sharpe
-
-    @property
-    def mdd(self) -> float:
-        return self.metrics.mdd
 
 
 def run_backtest(
@@ -76,25 +106,14 @@ def run_backtest(
     commission: float = DEFAULT_COMMISSION,
     initial_value: float = 1.0,
 ) -> BacktestResult:
-    """Back-test ``agent`` over ``data`` and compute Table 3 metrics."""
-    env = PortfolioEnv(
-        data,
+    """Back-test ``agent`` over ``data`` and compute Table 3 metrics.
+
+    Thin wrapper over :class:`~repro.envs.backtester.Backtester` kept
+    for backward compatibility (and convenience).
+    """
+    engine = Backtester(
         observation=observation,
         commission=commission,
         initial_value=initial_value,
     )
-    agent.begin_backtest(data)
-    done = False
-    while not done:
-        action = agent.act(data, env.t, env.previous_weights)
-        result = env.step(action)
-        done = result.done
-    metrics = evaluate_backtest(env.value_history, data.period_seconds)
-    return BacktestResult(
-        agent_name=agent.name,
-        values=np.asarray(env.value_history),
-        weights=np.asarray(env.weight_history),
-        rewards=np.asarray(env.reward_history),
-        mus=np.asarray(env.mu_history),
-        metrics=metrics,
-    )
+    return engine.run(agent, data)

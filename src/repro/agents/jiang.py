@@ -81,6 +81,7 @@ class JiangDRLAgent(Agent):
     """
 
     name = "DRL[Jiang]"
+    stateless = True
 
     def __init__(
         self,
@@ -111,18 +112,32 @@ class JiangDRLAgent(Agent):
         return int(sum(p.size for p in self.network.parameters()))
 
     # ------------------------------------------------------------------
+    def prepare_states(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> dict:
+        """EIIE input batch: price tensors plus the previous weights."""
+        return {
+            "prices": price_tensor_batch(data, indices, self.observation),
+            "w_prev": np.asarray(w_prev, dtype=np.float64),
+        }
+
+    def decide_batch(self, states: dict) -> np.ndarray:
+        """One batched CNN forward over a prepared state batch."""
+        w_assets = Tensor(states["w_prev"][:, 1:])
+        return self.network(Tensor(states["prices"]), w_assets).data
+
     def policy_forward(
         self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
     ) -> Tensor:
-        tensors = price_tensor_batch(data, indices, self.observation)
-        w_assets = Tensor(np.asarray(w_prev)[:, 1:])
-        return self.network(Tensor(tensors), w_assets)
+        states = self.prepare_states(data, indices, w_prev)
+        w_assets = Tensor(states["w_prev"][:, 1:])
+        return self.network(Tensor(states["prices"]), w_assets)
 
     def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
-        action = self.policy_forward(
+        states = self.prepare_states(
             data, np.array([t]), np.asarray(w_prev)[None, :]
         )
-        return action.data[0]
+        return self.decide_batch(states)[0]
 
     # ------------------------------------------------------------------
     def macs_per_inference(self) -> int:

@@ -59,6 +59,7 @@ class SDPAgent(Agent):
     """
 
     name = "SDP"
+    stateless = True
 
     def __init__(
         self,
@@ -123,22 +124,35 @@ class SDPAgent(Agent):
         return int(sum(p.size for p in self.network.parameters()))
 
     # ------------------------------------------------------------------
-    def _states(self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray):
+    def prepare_states(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> np.ndarray:
+        """Architecture-aware state batch (flat or per-asset features)."""
         if self.architecture == "shared":
             return sdp_asset_features_batch(data, indices, w_prev, self.observation)
         return sdp_state_batch(data, indices, w_prev, self.observation)
+
+    def _states(
+        self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
+    ) -> np.ndarray:
+        """Pre-registry private name, kept for backward compatibility."""
+        return self.prepare_states(data, indices, w_prev)
+
+    def decide_batch(self, states: np.ndarray) -> np.ndarray:
+        """One batched SNN forward over a prepared state batch."""
+        return self.network.forward(states).data
 
     def policy_forward(
         self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
     ) -> Tensor:
         """Differentiable batched action computation for the trainer."""
-        return self.network.forward(self._states(data, indices, w_prev))
+        return self.network.forward(self.prepare_states(data, indices, w_prev))
 
     def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
-        states = self._states(
+        states = self.prepare_states(
             data, np.array([t]), np.asarray(w_prev)[None, :]
         )
-        return self.network.forward(states).data[0]
+        return self.decide_batch(states)[0]
 
     # ------------------------------------------------------------------
     def inference_activity(
@@ -146,7 +160,7 @@ class SDPAgent(Agent):
         timesteps: Optional[int] = None,
     ) -> ActivityRecord:
         """Spike/synop counts of one inference (Loihi energy model input)."""
-        states = self._states(data, np.array([t]), np.asarray(w_prev)[None, :])
+        states = self.prepare_states(data, np.array([t]), np.asarray(w_prev)[None, :])
         _, activity = self.network.forward_with_activity(states, timesteps)
         return activity
 

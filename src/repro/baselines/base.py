@@ -44,13 +44,18 @@ class ClassicalStrategy(Agent):
     """
 
     def begin_backtest(self, data: MarketData) -> None:
+        """Reset per-run state; the single place ``_start_index`` is born."""
         self._start_index: int | None = None
 
     def asset_weights(self, relatives: np.ndarray, n_assets: int) -> np.ndarray:
         raise NotImplementedError
 
     def act(self, data: MarketData, t: int, w_prev: np.ndarray) -> np.ndarray:
-        if getattr(self, "_start_index", None) is None:
+        if not hasattr(self, "_start_index"):
+            raise RuntimeError(
+                f"{self.name}: begin_backtest must be called before act"
+            )
+        if self._start_index is None:
             self._start_index = t
         # Relatives observed since the back-test started (no look-ahead:
         # row k is close_{s+k+1}/close_{s+k} with s+k+1 <= t).

@@ -5,6 +5,7 @@ factor μ_t, the sequential :class:`PortfolioEnv`, Jiang-style
 portfolio-vector memory, and the geometric minibatch sampler.
 """
 
+from .backtester import Backtester, BacktestResult, concat_states
 from .costs import (
     DEFAULT_COMMISSION,
     drifted_weights,
@@ -19,20 +20,24 @@ from .observations import (
     sdp_state,
     sdp_state_batch,
 )
-from .portfolio import PortfolioEnv, StepResult
+from .portfolio import PortfolioEnv, StepResult, normalize_action
 from .pvm import PortfolioVectorMemory
 from .sampling import DEFAULT_GEOMETRIC_BIAS, GeometricBatchSampler
 
 __all__ = [
+    "Backtester",
+    "BacktestResult",
     "DEFAULT_COMMISSION",
     "DEFAULT_GEOMETRIC_BIAS",
     "GeometricBatchSampler",
+    "concat_states",
     "ObservationConfig",
     "PRICE_FEATURES",
     "PortfolioEnv",
     "PortfolioVectorMemory",
     "StepResult",
     "drifted_weights",
+    "normalize_action",
     "price_tensor",
     "price_tensor_batch",
     "sdp_state",

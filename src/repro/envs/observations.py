@@ -63,6 +63,11 @@ class ObservationConfig:
     momentum_horizons: Tuple[int, ...] = (1, 3, 9, 18, 36)
 
     def __post_init__(self):
+        # Normalise sequence input (e.g. JSON round-trips) so configs
+        # built from lists compare and hash equal to tuple-built ones.
+        object.__setattr__(
+            self, "momentum_horizons", tuple(self.momentum_horizons)
+        )
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
         if self.stride < 1:

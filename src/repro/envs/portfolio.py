@@ -29,6 +29,31 @@ from .costs import (
 from .observations import ObservationConfig
 
 
+def normalize_action(action: np.ndarray, action_dim: int, context: str = "action") -> np.ndarray:
+    """Validate a portfolio weight vector and return it renormalised.
+
+    The single definition of what a legal action is — shared by
+    :meth:`PortfolioEnv.step` and the serving layer so served
+    trajectories stay bit-comparable with back-tested ones: shape
+    ``(action_dim,)``, finite, non-negative (within -1e-9), summing to
+    1 (within 1e-6); then clipped to ``[0, ∞)`` and renormalised.
+    """
+    action = np.asarray(action, dtype=np.float64)
+    if action.shape != (action_dim,):
+        raise ValueError(
+            f"{context} must have shape ({action_dim},), got {action.shape}"
+        )
+    if not np.all(np.isfinite(action)):
+        raise ValueError(f"{context} must be finite")
+    if np.any(action < -1e-9):
+        raise ValueError(f"{context} weights must be non-negative")
+    total = action.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{context} must sum to 1, sums to {total:.8f}")
+    action = np.clip(action, 0.0, None)
+    return action / action.sum()
+
+
 @dataclass
 class StepResult:
     """Outcome of one environment step."""
@@ -156,18 +181,7 @@ class PortfolioEnv:
         ``action`` must be a length-``action_dim`` vector on the
         probability simplex (cash first).
         """
-        action = np.asarray(action, dtype=np.float64)
-        if action.shape != (self.action_dim,):
-            raise ValueError(
-                f"action must have shape ({self.action_dim},), got {action.shape}"
-            )
-        if np.any(action < -1e-9):
-            raise ValueError("action weights must be non-negative")
-        total = action.sum()
-        if abs(total - 1.0) > 1e-6:
-            raise ValueError(f"action must sum to 1, sums to {total:.8f}")
-        action = np.clip(action, 0.0, None)
-        action = action / action.sum()
+        action = normalize_action(action, self.action_dim)
         if self._t + 1 >= self.data.n_periods:
             raise RuntimeError("episode finished; call reset()")
 
@@ -177,6 +191,9 @@ class PortfolioEnv:
         y = self.price_relative(self._t)
         growth = float(y @ action)
         reward = float(np.log(mu * growth))
+        # The executed trade: distance from the pre-trade drifted
+        # weights (the same w'_t that mu was charged on).
+        turnover = float(np.abs(action - self._w_drifted).sum())
 
         self._value *= mu * growth
         self._w_drifted = drifted_weights(action, y)
@@ -195,7 +212,7 @@ class PortfolioEnv:
             mu=mu,
             price_relatives=y,
             done=done,
-            info={"growth": growth, "turnover": float(np.abs(action - self._w_drifted).sum())},
+            info={"growth": growth, "turnover": turnover},
         )
 
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from ..loihi import (
     paper_gpu_model,
     paper_loihi_model,
 )
+from ..registry import strategy_from_config
 from .config import ExperimentConfig
 
 
@@ -70,9 +71,9 @@ class ExperimentResult:
     backtests: Dict[str, BacktestResult]
     sdp_history: TrainHistory
     drl_history: TrainHistory
-    sdp_agent: SDPAgent = field(repr=False, default=None)
-    drl_agent: JiangDRLAgent = field(repr=False, default=None)
-    test_data: MarketData = field(repr=False, default=None)
+    sdp_agent: Optional[SDPAgent] = field(repr=False, default=None)
+    drl_agent: Optional[JiangDRLAgent] = field(repr=False, default=None)
+    test_data: Optional[MarketData] = field(repr=False, default=None)
 
     def table3_rows(self) -> List[Tuple[str, float, float, float]]:
         """(strategy, MDD, fAPV, Sharpe) rows in the paper's order."""
@@ -93,18 +94,7 @@ def train_sdp_agent(
     config: ExperimentConfig, data: ExperimentData
 ) -> Tuple[SDPAgent, TrainHistory]:
     """Train the paper's SDP agent on the experiment's training panel."""
-    agent = SDPAgent(
-        n_assets=len(data.assets),
-        observation=config.observation,
-        hidden_sizes=config.hidden_sizes,
-        timesteps=config.timesteps,
-        encoder_pop_size=config.encoder_pop_size,
-        decoder_pop_size=config.decoder_pop_size,
-        lif=config.lif,
-        surrogate_amplifier=config.surrogate_amplifier,
-        surrogate_window=config.surrogate_window,
-        seed=config.agent_seed,
-    )
+    agent = strategy_from_config("sdp", config, n_assets=len(data.assets))
     trainer = PolicyTrainer(
         agent,
         data.train,
@@ -126,11 +116,7 @@ def train_drl_agent(
     config: ExperimentConfig, data: ExperimentData
 ) -> Tuple[JiangDRLAgent, TrainHistory]:
     """Train the DRL[Jiang] EIIE baseline on the same panel."""
-    agent = JiangDRLAgent(
-        n_assets=len(data.assets),
-        observation=config.observation,
-        seed=config.agent_seed,
-    )
+    agent = strategy_from_config("jiang", config, n_assets=len(data.assets))
     trainer = PolicyTrainer(
         agent,
         data.train,
@@ -235,7 +221,7 @@ def run_power_comparison(
         (indices.shape[0], data.n_assets + 1), 1.0 / (data.n_assets + 1)
     )
     # Architecture-aware state construction (flat or per-asset).
-    states = result.sdp_agent._states(data, indices, uniform)
+    states = result.sdp_agent.prepare_states(data, indices, uniform)
 
     sdp_report = deployment.profile(states, name="Loihi (T=5)")
     macs = result.drl_agent.macs_per_inference()

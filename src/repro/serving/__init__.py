@@ -1,0 +1,31 @@
+"""Inference-service layer: serve rebalance decisions from any
+registry-constructed strategy.
+
+:class:`PortfolioService` keeps per-session state (strategy, market
+panel, previous weights, decision cursor), shares one instance of each
+stateless strategy across sessions, and micro-batches concurrent
+rebalance requests into single ``decide_batch`` forward passes.
+:class:`MicroBatcher` adds the cross-thread request coalescing, and
+:mod:`repro.serving.http` exposes the whole thing as a stdlib JSON
+HTTP endpoint (see ``examples/serving_demo.py``).
+"""
+
+from .service import (
+    InvalidStrategyOutput,
+    MicroBatcher,
+    PortfolioService,
+    RebalanceRequest,
+    RebalanceResponse,
+    ServiceStats,
+    SessionInfo,
+)
+
+__all__ = [
+    "InvalidStrategyOutput",
+    "MicroBatcher",
+    "PortfolioService",
+    "RebalanceRequest",
+    "RebalanceResponse",
+    "ServiceStats",
+    "SessionInfo",
+]

@@ -1,0 +1,233 @@
+"""Stdlib JSON/HTTP front-end for :class:`PortfolioService`.
+
+No framework: a :class:`http.server.ThreadingHTTPServer` whose handler
+speaks a small JSON protocol.  Concurrent ``POST /rebalance`` requests
+from different connections funnel through a :class:`MicroBatcher`, so
+simultaneous sessions on the same stateless strategy share one batched
+network forward.
+
+Routes
+------
+``GET  /healthz``            liveness + stats
+``GET  /strategies``         names servable through the registry
+``GET  /sessions``           live session descriptions
+``POST /sessions``           ``{"session_id", "strategy", "params"?, "market"}``
+``POST /rebalance``          ``{"session_id", "t"?}`` → one decision
+``POST /rebalance/batch``    ``{"requests": [...]}`` → decisions in order
+
+Errors return ``{"error": "..."}`` with a 4xx status.  Start one with
+:func:`serve` (see ``examples/serving_demo.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from .service import (
+    InvalidStrategyOutput,
+    MicroBatcher,
+    PortfolioService,
+    RebalanceRequest,
+    decode_params,
+)
+
+__all__ = ["ServiceHTTPServer", "ServingHandler", "serve"]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`PortfolioService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        service: PortfolioService,
+        micro_batch: bool = True,
+        max_batch: int = 64,
+        max_wait: float = 0.005,
+        quiet: bool = True,
+    ):
+        super().__init__(address, ServingHandler)
+        self.service = service
+        self.batcher: Optional[MicroBatcher] = (
+            MicroBatcher(service, max_batch=max_batch, max_wait=max_wait)
+            if micro_batch
+            else None
+        )
+        self.quiet = quiet
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _write_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _error(self, status: int, message: str) -> None:
+        self._write_json(status, {"error": message})
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            self._do_get()
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+            self._error(400, str(message))
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _do_get(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._write_json(
+                200,
+                {
+                    "status": "ok",
+                    "sessions": len(service.session_ids()),
+                    "stats": service.stats.to_json_dict(),
+                },
+            )
+        elif self.path == "/strategies":
+            self._write_json(200, {"strategies": list(service.registry.names())})
+        elif self.path == "/sessions":
+            self._write_json(
+                200,
+                {
+                    "sessions": [
+                        info.to_json_dict()
+                        for info in service.describe_sessions()
+                    ]
+                },
+            )
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            payload = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            if self.path == "/sessions":
+                self._create_session(payload)
+            elif self.path == "/rebalance":
+                self._rebalance(payload)
+            elif self.path == "/rebalance/batch":
+                self._rebalance_batch(payload)
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+        except InvalidStrategyOutput as exc:
+            # Server-side strategy fault, not a bad request.
+            self._error(500, str(exc))
+        except (KeyError, ValueError, TypeError) as exc:
+            # str(KeyError) wraps the message in repr quotes; unwrap it.
+            message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+            self._error(400, str(message))
+        except Exception as exc:  # strategy/internal failure: JSON 500, keep the connection sane
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    _SESSION_FIELDS = {"session_id", "strategy", "params", "market", "start"}
+
+    def _create_session(self, payload: Dict[str, Any]) -> None:
+        unknown = set(payload) - self._SESSION_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown fields {sorted(unknown)}; expected "
+                f"{sorted(self._SESSION_FIELDS)}"
+            )
+        if "session_id" not in payload:
+            raise ValueError("'session_id' is required")
+        if "market" not in payload:
+            raise ValueError("'market' is required (a registered market name)")
+        # Params pass through the checkpoint codec, so tagged config
+        # objects (e.g. {"__type__": "ObservationConfig", ...}) can be
+        # expressed over the wire.
+        params = decode_params(payload.get("params") or {})
+        info = self.server.service.create_session(
+            session_id=str(payload["session_id"]),
+            strategy=str(payload.get("strategy", "sdp")),
+            params=params,
+            market=str(payload["market"]),
+            start=payload.get("start"),
+        )
+        self._write_json(201, info.to_json_dict())
+
+    @staticmethod
+    def _parse_request(payload: Dict[str, Any]) -> RebalanceRequest:
+        unknown = set(payload) - {"session_id", "t"}
+        if unknown:
+            raise ValueError(
+                f"unknown fields {sorted(unknown)}; expected ['session_id', 't']"
+            )
+        if "session_id" not in payload:
+            raise ValueError("'session_id' is required")
+        t = payload.get("t")
+        return RebalanceRequest(
+            session_id=str(payload["session_id"]),
+            t=None if t is None else int(t),
+        )
+
+    def _rebalance(self, payload: Dict[str, Any]) -> None:
+        request = self._parse_request(payload)
+        if self.server.batcher is not None:
+            response = self.server.batcher.submit(request)
+        else:
+            response = self.server.service.rebalance(request)
+        self._write_json(200, response.to_json_dict())
+
+    def _rebalance_batch(self, payload: Dict[str, Any]) -> None:
+        raw = payload.get("requests")
+        if not isinstance(raw, list) or not raw:
+            raise ValueError("'requests' must be a non-empty list")
+        requests = [self._parse_request(item) for item in raw]
+        responses = self.server.service.rebalance_many(requests)
+        self._write_json(
+            200, {"responses": [r.to_json_dict() for r in responses]}
+        )
+
+
+def serve(
+    service: PortfolioService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    micro_batch: bool = True,
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer`; call ``serve_forever()`` on it.
+
+    ``port=0`` picks a free port (``server.server_address`` has it).
+    """
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        micro_batch=micro_batch,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        quiet=quiet,
+    )

@@ -1,0 +1,920 @@
+"""Multi-session portfolio inference service.
+
+``PortfolioService`` is the deployment counterpart of the back-test
+loop: each *session* is one live portfolio (a market panel, a strategy
+spec, the previous target weights, and a decision cursor), and a
+rebalance request asks "given everything up to period ``t``, what are
+the next target weights?".  Decisions are produced through the public
+Strategy protocol (:meth:`~repro.agents.base.Agent.prepare_states` /
+:meth:`~repro.agents.base.Agent.decide_batch`), so concurrent requests
+against stateless strategies collapse into one batched network forward
+— the same mechanism :class:`~repro.envs.backtester.Backtester` uses in
+lockstep mode, which is what keeps served trajectories bit-comparable
+with ``run_backtest``.
+
+Checkpointing persists every session (market panel, cursor, weights)
+plus the network state dicts of learned strategies through
+:mod:`repro.utils.serialization`, so a service can be stopped and
+resumed with identical subsequent decisions.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..agents.base import Agent, concat_states
+from ..data.market import MarketData
+from ..envs.costs import DEFAULT_COMMISSION
+from ..envs.observations import ObservationConfig
+from ..envs.portfolio import normalize_action
+from ..registry import DEFAULT_REGISTRY, StrategyRegistry
+from ..snn.neurons import LIFParameters
+from ..utils.serialization import (
+    PathLike,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+)
+
+__all__ = [
+    "InvalidStrategyOutput",
+    "MicroBatcher",
+    "PortfolioService",
+    "RebalanceRequest",
+    "RebalanceResponse",
+    "ServiceStats",
+    "SessionInfo",
+]
+
+
+class InvalidStrategyOutput(ValueError):
+    """A strategy produced invalid weights (a server-side fault, not a
+    bad request — the HTTP layer maps it to a 500)."""
+
+
+# ----------------------------------------------------------------------
+# Spec (de)serialisation: strategy params may contain the repo's config
+# dataclasses; encode them with a type tag so specs round-trip JSON.
+
+_TAGGED_TYPES = {
+    "ObservationConfig": ObservationConfig,
+    "LIFParameters": LIFParameters,
+}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (ObservationConfig, LIFParameters)):
+        payload = {k: _encode_value(v) for k, v in asdict(value).items()}
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"strategy param of type {type(value).__name__} is not checkpointable"
+    )
+
+
+def decode_params(params: Any) -> Any:
+    """Decode a JSON params payload, resolving tagged config objects
+    (``{"__type__": "ObservationConfig", ...}``) — the same codec
+    checkpoints use, exposed for the HTTP layer."""
+    return _decode_value(params)
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get("__type__")
+        if tag is not None:
+            cls = _TAGGED_TYPES.get(tag)
+            if cls is None:
+                raise ValueError(f"unknown tagged type {tag!r} in checkpoint")
+            kwargs = {
+                k: _decode_value(v) for k, v in value.items() if k != "__type__"
+            }
+            return cls(**kwargs)
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def _canonical_key(strategy: str, params: Dict[str, Any]) -> Optional[str]:
+    """Canonical JSON identity of a strategy spec, used both for
+    shared-agent matching and checkpoint round-trips — one definition so
+    restored agents keep matching newly created specs.  ``None`` when
+    the params are not encodable."""
+    try:
+        return json.dumps(
+            {"strategy": strategy, "params": _encode_value(params)},
+            sort_keys=True,
+        )
+    except TypeError:
+        return None
+
+
+def _market_to_state(data: MarketData) -> Dict[str, np.ndarray]:
+    return {
+        "timestamps": data.timestamps,
+        "open": data.open,
+        "high": data.high,
+        "low": data.low,
+        "close": data.close,
+        "volume": data.volume,
+        "period_seconds": np.array(data.period_seconds, dtype=np.int64),
+        "names": np.array([str(n) for n in data.names]),
+    }
+
+
+def _market_from_state(state: Dict[str, np.ndarray]) -> MarketData:
+    return MarketData(
+        timestamps=state["timestamps"],
+        names=[str(n) for n in state["names"]],
+        open=state["open"],
+        high=state["high"],
+        low=state["low"],
+        close=state["close"],
+        volume=state["volume"],
+        period_seconds=int(state["period_seconds"]),
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RebalanceRequest:
+    """One rebalance query against a session.
+
+    ``t`` is the decision index into the session's panel; ``None`` means
+    "the session's next decision" (the cursor), which is what a live
+    stream of requests uses.  An explicit ``t`` is a **seek**: the
+    decision is computed against the session's *current* weights and the
+    cursor moves to ``t + 1`` — use it to start a stream at a chosen
+    period or to skip ahead, not to replay history on a live session
+    (the original weight chain is not reconstructed).
+    """
+
+    session_id: str
+    t: Optional[int] = None
+
+
+@dataclass
+class RebalanceResponse:
+    """The served decision: target weights (cash first) for period ``t``."""
+
+    session_id: str
+    t: int
+    weights: np.ndarray
+    strategy: str
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "t": self.t,
+            "weights": [float(w) for w in np.asarray(self.weights)],
+            "strategy": self.strategy,
+        }
+
+
+@dataclass
+class SessionInfo:
+    """Public description of a live session."""
+
+    session_id: str
+    strategy: str
+    market: str
+    n_assets: int
+    next_t: int
+    last_t: int
+    decisions: int
+    shared_agent: bool
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ServiceStats:
+    """Counters for observing micro-batching effectiveness."""
+
+    requests_served: int = 0
+    batched_forwards: int = 0
+    single_decisions: int = 0
+    largest_batch: int = 0
+    sessions_created: int = 0
+
+    def to_json_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+@dataclass
+class _StagedState:
+    """Per-session scratch state a transactional batch decides against."""
+
+    w_prev: np.ndarray
+    next_t: int
+    decisions: int = 0
+    first_t: Optional[int] = None
+
+
+@dataclass
+class _Session:
+    session_id: str
+    spec: Dict[str, Any]           # {"strategy": name, "params": {...}} (raw)
+    agent: Agent
+    agent_key: str                 # canonical key; shared agents collide here
+    shared: bool
+    market: str                    # name in the service's market registry
+    data: MarketData
+    observation: ObservationConfig
+    next_t: int
+    start: int
+    w_prev: np.ndarray
+    decisions: int = 0
+
+
+class PortfolioService:
+    """Serves rebalance decisions for many concurrent portfolio sessions.
+
+    Parameters
+    ----------
+    registry:
+        Strategy registry used to construct session strategies
+        (defaults to the process-wide one, including user strategies
+        registered through :func:`repro.registry.register`).
+    commission:
+        Recorded per-session for parity with back-test configuration
+        (decisions themselves are commission-free functions of state).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[StrategyRegistry] = None,
+        commission: float = DEFAULT_COMMISSION,
+    ):
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.commission = float(commission)
+        self.stats = ServiceStats()
+        self._sessions: Dict[str, _Session] = {}
+        self._markets: Dict[str, MarketData] = {}
+        self._shared_agents: Dict[str, Agent] = {}
+        self._private_seq = 0  # stable unique keys for unshared agents
+        self._lock = threading.RLock()
+
+    # -- markets -------------------------------------------------------
+    def register_market(self, name: str, data: MarketData) -> str:
+        """Register a market panel sessions can reference by name.
+
+        Names are immutable once bound: live sessions and checkpoints
+        reference panels by name, so rebinding would silently swap the
+        data under them.  Re-registering the same panel is a no-op.
+        """
+        if not isinstance(data, MarketData):
+            raise TypeError("data must be a MarketData panel")
+        with self._lock:
+            existing = self._markets.get(name)
+            if existing is not None and existing is not data:
+                raise ValueError(
+                    f"market {name!r} is already registered with a different "
+                    "panel; market names are immutable"
+                )
+            self._markets[name] = data
+        return name
+
+    def market_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._markets))
+
+    # -- sessions ------------------------------------------------------
+    def create_session(
+        self,
+        session_id: str,
+        strategy: str = "sdp",
+        params: Optional[Mapping[str, Any]] = None,
+        market: Optional[str] = None,
+        data: Optional[MarketData] = None,
+        observation: Optional[ObservationConfig] = None,
+        start: Optional[int] = None,
+    ) -> SessionInfo:
+        """Open a session serving ``strategy`` over a market panel.
+
+        The panel comes either from a registered market name
+        (``market=...``) or inline (``data=...``, auto-registered under
+        ``"session:<id>"``).  Learned strategies receive ``n_assets``
+        automatically when the params omit it.  ``start`` overrides the
+        first decision index (default: the observation's earliest index
+        with a full window, matching ``run_backtest``).
+        """
+        params = dict(params or {})
+        with self._lock:
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already exists")
+            if (market is None) == (data is None):
+                raise ValueError("pass exactly one of market= or data=")
+            if market is not None:
+                if market not in self._markets:
+                    raise KeyError(
+                        f"unknown market {market!r}; registered: "
+                        f"{', '.join(self.market_names()) or '(none)'}"
+                    )
+                panel = self._markets[market]
+                market_name = market
+            else:
+                panel = data
+                market_name = f"session:{session_id}"
+
+            if strategy not in self.registry:
+                raise KeyError(
+                    f"unknown strategy {strategy!r}; available: "
+                    f"{', '.join(self.registry.names())}"
+                )
+            agent, agent_key, shared, build_params = self._resolve_agent(
+                strategy, params, panel
+            )
+            obs = observation
+            if obs is None:
+                obs = getattr(agent, "observation", None)
+            if obs is None:
+                obs = ObservationConfig()
+
+            first = obs.first_decision_index()
+            if first >= panel.n_periods - 1:
+                raise ValueError(
+                    f"panel too short: {panel.n_periods} periods for "
+                    f"observation window {obs.window}"
+                )
+            t0 = int(start) if start is not None else first
+            if not first <= t0 <= panel.n_periods - 2:
+                raise ValueError(
+                    f"start index {t0} outside decidable range "
+                    f"[{first}, {panel.n_periods - 2}]"
+                )
+
+            # Register the inline panel and publish the shared agent only
+            # after everything validated, so a failed create leaves no
+            # ghost market or agent behind.  register_market keeps names
+            # immutable even when a closed session's auto-name is still
+            # referenced by others.
+            if data is not None:
+                self.register_market(market_name, panel)
+            if shared:
+                self._shared_agents[agent_key] = agent
+            session = _Session(
+                session_id=session_id,
+                spec={"strategy": strategy, "params": build_params},
+                agent=agent,
+                agent_key=agent_key,
+                shared=shared,
+                market=market_name,
+                data=panel,
+                observation=obs,
+                next_t=t0,
+                start=t0,
+                w_prev=self._initial_weights(panel),
+            )
+            if not shared:
+                agent.begin_backtest(panel)
+            self._sessions[session_id] = session
+            self.stats.sessions_created += 1
+            return self._info(session)
+
+    def _resolve_agent(
+        self, strategy: str, params: Dict[str, Any], panel: MarketData
+    ) -> Tuple[Agent, str, bool, Dict[str, Any]]:
+        """Construct (or share) the strategy instance for a session.
+
+        Returns the agent, its canonical key, whether it is shared, and
+        the *effective* constructor params (``n_assets`` auto-injected
+        when the strategy's factory accepts it — learned strategies,
+        built-in or user-registered) — the spec checkpoints persist.
+        """
+        build_params = dict(params)
+        if "n_assets" not in build_params and self._factory_takes_n_assets(
+            strategy
+        ):
+            build_params["n_assets"] = panel.n_assets
+        canonical = _canonical_key(strategy, build_params)
+        if canonical is not None and canonical in self._shared_agents:
+            return self._shared_agents[canonical], canonical, True, build_params
+        agent = self.registry.create(strategy, **build_params)
+        if agent.stateless and canonical is not None:
+            # Not cached yet: create_session publishes to _shared_agents
+            # only after the whole create validates, so a failed create
+            # leaves no ghost agent behind.
+            return agent, canonical, True, build_params
+        # Stateful agents are never shared, so their key must be unique
+        # per instance — a spec-derived (or reusable id-based) key would
+        # make checkpoints collapse same-spec sessions onto one agent.
+        self._private_seq += 1
+        return agent, f"!private:{self._private_seq}", False, build_params
+
+    def _factory_takes_n_assets(self, strategy: str) -> bool:
+        factory = self.registry.get_factory(strategy)
+        if factory is None:
+            return False
+        try:
+            return "n_assets" in inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # builtins without signatures
+            return False
+
+    @staticmethod
+    def _initial_weights(panel: MarketData) -> np.ndarray:
+        w = np.zeros(panel.n_assets + 1)
+        w[0] = 1.0  # fully in cash, like PortfolioEnv.reset()
+        return w
+
+    def _info(self, session: _Session) -> SessionInfo:
+        return SessionInfo(
+            session_id=session.session_id,
+            strategy=session.spec["strategy"],
+            market=session.market,
+            n_assets=session.data.n_assets,
+            next_t=session.next_t,
+            last_t=session.data.n_periods - 2,
+            decisions=session.decisions,
+            shared_agent=session.shared,
+        )
+
+    def close_session(self, session_id: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                return
+            # Drop resources nothing else references: the session's
+            # auto-registered inline panel and its shared agent entry.
+            if session.market.startswith("session:") and not any(
+                s.market == session.market for s in self._sessions.values()
+            ):
+                self._markets.pop(session.market, None)
+            if session.shared and not any(
+                s.agent_key == session.agent_key
+                for s in self._sessions.values()
+            ):
+                self._shared_agents.pop(session.agent_key, None)
+
+    def session_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._sessions))
+
+    def describe_session(self, session_id: str) -> SessionInfo:
+        with self._lock:
+            return self._info(self._session(session_id))
+
+    def describe_sessions(self) -> Tuple[SessionInfo, ...]:
+        """Atomic snapshot of every live session's description."""
+        with self._lock:
+            return tuple(
+                self._info(session)
+                for _, session in sorted(self._sessions.items())
+            )
+
+    def _session(self, session_id: str) -> _Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    # -- serving -------------------------------------------------------
+    def rebalance(self, request: Union[RebalanceRequest, str]) -> RebalanceResponse:
+        """Serve one rebalance decision (accepts a bare session id)."""
+        if isinstance(request, str):
+            request = RebalanceRequest(session_id=request)
+        return self.rebalance_many([request])[0]
+
+    def rebalance_many(
+        self, requests: Sequence[RebalanceRequest]
+    ) -> List[RebalanceResponse]:
+        """Serve a batch of rebalance requests, micro-batching across
+        sessions.
+
+        Requests hitting sessions that share a stateless strategy
+        instance are decided in one ``decide_batch`` forward pass.
+        Multiple requests for the *same* session keep their sequential
+        semantics: they are processed in arrival order across rounds,
+        each seeing the weights the previous one produced.
+
+        The batch is transactional: decisions are computed against
+        staged copies of the session state, and the sessions (and
+        stats) are only updated after every request in the batch has
+        produced a valid decision.  Any error — unknown session, index
+        out of range, a strategy returning invalid weights — leaves
+        every session untouched.
+        """
+        if not requests:
+            return []
+        with self._lock:
+            # Resolve every request upfront: staged per-session cursor
+            # and weights that rounds read and write without touching
+            # the sessions themselves.
+            staged: Dict[str, _StagedState] = {}
+            resolved: List[Tuple[int, _Session, int]] = []
+            for pos, req in enumerate(requests):
+                session = self._session(req.session_id)
+                state = staged.get(req.session_id)
+                if state is None:
+                    state = _StagedState(
+                        w_prev=session.w_prev, next_t=session.next_t
+                    )
+                    staged[req.session_id] = state
+                t = int(req.t) if req.t is not None else state.next_t
+                first = session.observation.first_decision_index()
+                if not first <= t <= session.data.n_periods - 2:
+                    raise ValueError(
+                        f"session {session.session_id!r}: decision index {t} "
+                        f"outside decidable range "
+                        f"[{first}, {session.data.n_periods - 2}]"
+                    )
+                state.next_t = t + 1
+                resolved.append((pos, session, t))
+
+            # Stateful strategies mutate internal state inside act()
+            # (e.g. ONS's running Hessian), which staging cannot defer —
+            # snapshot them (once per session) so an aborted batch can
+            # roll the agents back.
+            backups: Dict[str, Agent] = {}
+            for _, session, _ in resolved:
+                if (
+                    not session.agent.stateless
+                    and session.session_id not in backups
+                ):
+                    backups[session.session_id] = copy.deepcopy(session.agent)
+
+            responses: List[Optional[RebalanceResponse]] = [None] * len(requests)
+            stats = ServiceStats()
+            pending = resolved
+            try:
+                while pending:
+                    this_round: List[Tuple[int, _Session, int]] = []
+                    seen_sessions = set()
+                    deferred = []
+                    for item in pending:
+                        if item[1].session_id in seen_sessions:
+                            deferred.append(item)
+                        else:
+                            seen_sessions.add(item[1].session_id)
+                            this_round.append(item)
+                    self._serve_round(this_round, staged, responses, stats)
+                    pending = deferred
+            except BaseException:
+                for session_id, agent in backups.items():
+                    self._sessions[session_id].agent = agent
+                raise
+
+            # Everything decided cleanly: commit sessions and stats.
+            for session_id, state in staged.items():
+                session = self._sessions[session_id]
+                session.w_prev = state.w_prev
+                session.next_t = state.next_t
+                if session.decisions == 0 and state.first_t is not None:
+                    # The session's true anchor is the first index it
+                    # actually served (an explicit-t first request may
+                    # seek past the default start) — checkpoint restore
+                    # re-anchors stateful strategies here.
+                    session.start = state.first_t
+                session.decisions += state.decisions
+            self.stats.requests_served += len(requests)
+            self.stats.batched_forwards += stats.batched_forwards
+            self.stats.single_decisions += stats.single_decisions
+            self.stats.largest_batch = max(
+                self.stats.largest_batch, stats.largest_batch
+            )
+            return responses  # type: ignore[return-value]
+
+    def _serve_round(
+        self,
+        items: List[Tuple[int, _Session, int]],
+        staged: Dict[str, "_StagedState"],
+        responses: List[Optional[RebalanceResponse]],
+        stats: ServiceStats,
+    ) -> None:
+        """Decide one round of requests over pairwise-distinct sessions,
+        reading and writing only the staged state."""
+        # Group batchable work by shared agent instance.
+        groups: Dict[int, List[Tuple[int, _Session, int]]] = {}
+        singles: List[Tuple[int, _Session, int]] = []
+        for item in items:
+            if item[1].agent.stateless:
+                groups.setdefault(id(item[1].agent), []).append(item)
+            else:
+                singles.append(item)
+
+        for group in groups.values():
+            agent = group[0][1].agent
+            parts = [
+                agent.prepare_states(
+                    session.data,
+                    np.array([t]),
+                    staged[session.session_id].w_prev[None, :],
+                )
+                for _, session, t in group
+            ]
+            weights = np.asarray(agent.decide_batch(concat_states(parts)))
+            if weights.ndim != 2 or weights.shape[0] != len(group):
+                raise InvalidStrategyOutput(
+                    f"strategy {group[0][1].spec['strategy']!r}: decide_batch "
+                    f"returned shape {weights.shape} for a batch of "
+                    f"{len(group)} states"
+                )
+            if len(group) > 1:
+                stats.batched_forwards += 1
+                stats.largest_batch = max(stats.largest_batch, len(group))
+            else:
+                stats.single_decisions += 1
+            for (pos, session, t), w in zip(group, weights):
+                responses[pos] = self._stage_decision(staged, session, t, w)
+
+        for pos, session, t in singles:
+            w = session.agent.act(
+                session.data, t, staged[session.session_id].w_prev
+            )
+            stats.single_decisions += 1
+            responses[pos] = self._stage_decision(
+                staged, session, t, np.asarray(w)
+            )
+
+    def _stage_decision(
+        self,
+        staged: Dict[str, "_StagedState"],
+        session: _Session,
+        t: int,
+        weights: np.ndarray,
+    ) -> RebalanceResponse:
+        # The same validation + normalisation PortfolioEnv.step applies,
+        # so served trajectories match back-tested ones exactly — and a
+        # misbehaving user strategy raises (aborting the whole untouched
+        # batch) instead of poisoning the session with NaN weights.
+        try:
+            weights = normalize_action(
+                weights,
+                session.data.n_assets + 1,
+                context=f"session {session.session_id!r}: strategy weights",
+            )
+        except ValueError as exc:
+            raise InvalidStrategyOutput(str(exc)) from None
+        state = staged[session.session_id]
+        state.w_prev = weights.copy()
+        if state.decisions == 0:
+            state.first_t = t
+        state.decisions += 1
+        return RebalanceResponse(
+            session_id=session.session_id,
+            t=t,
+            weights=weights,
+            strategy=session.spec["strategy"],
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def save_checkpoint(self, path: PathLike) -> Path:
+        """Persist markets, sessions, and strategy weights to ``path``.
+
+        ``path`` becomes a directory holding ``manifest.json`` plus one
+        ``.npz`` per market panel and per learned-strategy state dict.
+        Strategy params must be JSON-encodable (the repo's config
+        dataclasses are handled via type tags).
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            market_files: Dict[str, str] = {}
+            for i, name in enumerate(sorted(self._markets)):
+                filename = f"market_{i}.npz"
+                save_state_dict(path / filename, _market_to_state(self._markets[name]))
+                market_files[name] = filename
+
+            agent_entries: Dict[str, Dict[str, Any]] = {}
+            agent_keys: Dict[str, str] = {}  # agent_key -> manifest key
+            sessions_payload = []
+            for session in self._sessions.values():
+                if session.agent_key not in agent_keys:
+                    manifest_key = f"agent_{len(agent_keys)}"
+                    agent_keys[session.agent_key] = manifest_key
+                    network = getattr(session.agent, "network", None)
+                    weights_file = None
+                    if network is not None and hasattr(network, "state_dict"):
+                        weights_file = f"{manifest_key}.npz"
+                        save_state_dict(path / weights_file, network.state_dict())
+                    agent_entries[manifest_key] = {
+                        "spec": {
+                            "strategy": session.spec["strategy"],
+                            "params": _encode_value(session.spec["params"]),
+                        },
+                        "weights": weights_file,
+                        "shared": session.shared,
+                    }
+                sessions_payload.append(
+                    {
+                        "session_id": session.session_id,
+                        "agent": agent_keys[session.agent_key],
+                        "market": session.market,
+                        "next_t": session.next_t,
+                        "start": session.start,
+                        "decisions": session.decisions,
+                        "w_prev": [float(w) for w in session.w_prev],
+                        "observation": _encode_value(session.observation),
+                    }
+                )
+            save_json(
+                path / "manifest.json",
+                {
+                    "version": 1,
+                    "commission": self.commission,
+                    "markets": market_files,
+                    "agents": agent_entries,
+                    "sessions": sessions_payload,
+                },
+            )
+        return path
+
+    @classmethod
+    def load_checkpoint(
+        cls, path: PathLike, registry: Optional[StrategyRegistry] = None
+    ) -> "PortfolioService":
+        """Rebuild a service whose next decisions match the saved one's."""
+        path = Path(path)
+        manifest = load_json(path / "manifest.json")
+        if manifest.get("version") != 1:
+            raise ValueError(f"unsupported checkpoint version {manifest.get('version')!r}")
+        service = cls(registry=registry, commission=manifest["commission"])
+
+        markets: Dict[str, MarketData] = {}
+        for name, filename in manifest["markets"].items():
+            markets[name] = _market_from_state(load_state_dict(path / filename))
+            service._markets[name] = markets[name]
+
+        agents: Dict[str, Tuple[Agent, Dict[str, Any], bool, str]] = {}
+        for key, entry in manifest["agents"].items():
+            spec = {
+                "strategy": entry["spec"]["strategy"],
+                "params": _decode_value(entry["spec"]["params"]),
+            }
+            agent = service.registry.create(spec["strategy"], **spec["params"])
+            if entry["weights"] is not None:
+                agent.network.load_state_dict(
+                    load_state_dict(path / entry["weights"])
+                )
+            shared = bool(entry["shared"])
+            canonical = _canonical_key(spec["strategy"], spec["params"])
+            if shared:
+                service._shared_agents[canonical] = agent
+            agents[key] = (agent, spec, shared, canonical)
+
+        for payload in manifest["sessions"]:
+            agent, spec, shared, canonical = agents[payload["agent"]]
+            panel = markets[payload["market"]]
+            observation = _decode_value(payload["observation"])
+            if not shared:
+                service._private_seq += 1
+            session = _Session(
+                session_id=payload["session_id"],
+                spec=spec,
+                agent=agent,
+                # Stateful agents need per-instance keys, or the next
+                # save would dedup same-spec sessions onto one agent.
+                agent_key=canonical if shared else f"!private:{service._private_seq}",
+                shared=shared,
+                market=payload["market"],
+                data=panel,
+                observation=observation,
+                next_t=int(payload["next_t"]),
+                start=int(payload["start"]),
+                w_prev=np.asarray(payload["w_prev"], dtype=np.float64),
+                decisions=int(payload["decisions"]),
+            )
+            if not shared:
+                agent.begin_backtest(panel)
+                # Classical strategies anchor their relatives window at
+                # the first served index; restore that cursor when the
+                # session had already started.
+                if session.decisions > 0 and hasattr(agent, "_start_index"):
+                    agent._start_index = session.start
+            service._sessions[session.session_id] = session
+        return service
+
+
+# ----------------------------------------------------------------------
+class _Slot:
+    """Mailbox for one request passing through the micro-batcher."""
+
+    __slots__ = ("response", "error", "done")
+
+    def __init__(self):
+        self.response: Optional[RebalanceResponse] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class MicroBatcher:
+    """Coalesces concurrent rebalance requests into batched service calls.
+
+    Threads call :meth:`submit`; the first waiter becomes the *leader*,
+    waits up to ``max_wait`` seconds (or until ``max_batch`` requests
+    accumulate), then flushes the whole batch through
+    :meth:`PortfolioService.rebalance_many` — one SNN forward for the
+    lot — and distributes the responses.
+    """
+
+    def __init__(
+        self,
+        service: PortfolioService,
+        max_batch: int = 64,
+        max_wait: float = 0.005,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._cond = threading.Condition()
+        self._pending: List[Tuple[RebalanceRequest, _Slot]] = []
+        self._leader_active = False
+
+    def submit(self, request: RebalanceRequest) -> RebalanceResponse:
+        """Enqueue ``request`` and block until its decision is served.
+
+        The calling thread either waits for a leader to serve it or
+        becomes the leader itself; leadership hands over whenever a
+        flush completes with requests still queued, so no waiter can
+        be stranded past the batch cut.
+        """
+        slot = _Slot()
+        with self._cond:
+            self._pending.append((request, slot))
+            self._cond.notify_all()
+        while True:
+            with self._cond:
+                while not slot.done and (self._leader_active or not self._pending):
+                    self._cond.wait()
+                if slot.done:
+                    if slot.error is not None:
+                        raise slot.error
+                    return slot.response
+                # No leader and work queued (our slot included): lead.
+                self._leader_active = True
+                batch = self._collect_locked()
+            self._flush(batch)
+
+    def _flush(self, batch: List[Tuple[RebalanceRequest, _Slot]]) -> None:
+        """Serve ``batch`` outside the lock and wake its waiters.
+
+        If the batched call rejects (one bad request fails the whole
+        transactional batch, leaving every session untouched), fall
+        back to serving each request individually so only the
+        offenders see the error.
+        """
+        try:
+            try:
+                responses = self.service.rebalance_many(
+                    [req for req, _ in batch]
+                )
+                results = [
+                    (s, resp, None) for (_, s), resp in zip(batch, responses)
+                ]
+            except Exception:
+                results = []
+                for req, s in batch:
+                    try:
+                        results.append((s, self.service.rebalance(req), None))
+                    except Exception as exc:
+                        results.append((s, None, exc))
+        except BaseException as exc:
+            # KeyboardInterrupt/SystemExit: fail the waiters so none
+            # hang, then let the interrupt propagate.
+            with self._cond:
+                for _, s in batch:
+                    s.response, s.error, s.done = None, exc, True
+                self._leader_active = False
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            for s, resp, err in results:
+                s.response, s.error, s.done = resp, err, True
+            self._leader_active = False
+            self._cond.notify_all()
+
+    def _collect_locked(self) -> List[Tuple[RebalanceRequest, _Slot]]:
+        """Wait (holding the lock) for the batch window, then drain."""
+        deadline = time.monotonic() + self.max_wait
+        while len(self._pending) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._cond.wait(remaining)
+        batch = self._pending[: self.max_batch]
+        self._pending = self._pending[self.max_batch :]
+        return batch

@@ -134,3 +134,22 @@ class TestEpisode:
         assert env.average_log_return() == pytest.approx(
             np.mean(env.reward_history)
         )
+
+
+class TestStepInfo:
+    def test_turnover_measures_executed_trade(self, panel):
+        env = make_env(panel)
+        first = env.uniform_weights()
+        env.step(first)
+        # Trade at the second step: distance from the drifted weights
+        # the commission was charged on, not the post-step drift.
+        pre_drift = env.drifted_weights
+        action = env.cash_weights()
+        result = env.step(action)
+        expected = float(np.abs(action - pre_drift).sum())
+        assert result.info["turnover"] == pytest.approx(expected)
+
+    def test_nan_action_rejected(self, panel):
+        env = make_env(panel)
+        with pytest.raises(ValueError, match="finite"):
+            env.step(np.full(env.action_dim, np.nan))

@@ -1,0 +1,128 @@
+"""Unit tests for the strategy registry (repro.registry)."""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.agents import Agent, JiangDRLAgent, SDPAgent
+from repro.baselines import ClassicalStrategy, UBAH
+from repro.experiments import make_config
+from repro.registry import StrategyRegistry
+
+# Constructor params for strategies that need them; everything else
+# must construct with no arguments.
+PARAMS = {
+    "sdp": dict(n_assets=4, hidden_sizes=(8, 8), encoder_pop_size=2,
+                decoder_pop_size=2),
+    "jiang": dict(n_assets=4),
+}
+
+
+class TestDefaultRegistry:
+    def test_every_builtin_constructs(self):
+        names = registry.available_strategies()
+        assert {"sdp", "jiang", "ons", "anticor", "crp", "bah",
+                "best_stock", "m0"} <= set(names)
+        for name in names:
+            agent = registry.create(name, **PARAMS.get(name, {}))
+            assert isinstance(agent, Agent), name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            registry.create("warp_drive")
+
+    def test_names_normalised(self):
+        assert isinstance(registry.create("SDP", n_assets=3), SDPAgent)
+        assert "Best-Stock" in registry.DEFAULT_REGISTRY
+
+    def test_learned_strategies_are_stateless(self):
+        assert registry.create("sdp", n_assets=3).stateless
+        assert registry.create("jiang", n_assets=3).stateless
+        assert not registry.create("ons").stateless
+
+    def test_build_from_spec_nested_params(self):
+        agent = registry.build({"strategy": "ons", "params": {"beta": 1.5}})
+        assert agent.beta == 1.5
+
+    def test_build_from_spec_inline_params(self):
+        agent = registry.build({"strategy": "m0", "prior": 0.25})
+        assert agent.prior == 0.25
+
+    def test_build_without_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.build({"params": {}})
+
+    def test_build_with_both_strategy_and_name_keys(self):
+        # 'strategy' wins and a redundant 'name' key must not leak into
+        # constructor params.
+        agent = registry.build({"strategy": "m0", "name": "label", "prior": 0.5})
+        assert agent.prior == 0.5
+
+
+class TestUserRegistration:
+    def test_register_and_create(self):
+        reg = StrategyRegistry()
+
+        @reg.register("uniform_cash")
+        class UniformCash(ClassicalStrategy):
+            name = "UniformCash"
+
+            def asset_weights(self, relatives, n_assets):
+                return np.full(n_assets, 1.0 / n_assets)
+
+        assert "uniform_cash" in reg
+        assert isinstance(reg.create("uniform_cash"), UniformCash)
+
+    def test_duplicate_name_raises(self):
+        reg = StrategyRegistry()
+        reg.register("bah", UBAH)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("bah", UBAH)
+
+    def test_unregister(self):
+        reg = StrategyRegistry()
+        reg.register("bah", UBAH)
+        reg.unregister("bah")
+        assert "bah" not in reg
+
+    def test_non_agent_factory_rejected_at_create(self):
+        reg = StrategyRegistry()
+        reg.register("broken", lambda: object())
+        with pytest.raises(TypeError, match="expected an Agent"):
+            reg.create("broken")
+
+
+class TestStrategyFromConfig:
+    def test_sdp_wiring(self):
+        config = make_config(1, profile="quick")
+        agent = registry.strategy_from_config("sdp", config)
+        assert isinstance(agent, SDPAgent)
+        assert agent.n_assets == config.num_assets
+        assert agent.observation == config.observation
+        assert agent.config.hidden_sizes == config.hidden_sizes
+        assert agent.config.timesteps == config.timesteps
+
+    def test_jiang_wiring(self):
+        config = make_config(1, profile="quick")
+        agent = registry.strategy_from_config("jiang", config, n_assets=5)
+        assert isinstance(agent, JiangDRLAgent)
+        assert agent.n_assets == 5
+        assert agent.observation == config.observation
+
+    def test_same_config_same_weights(self):
+        config = make_config(1, profile="quick")
+        a = registry.strategy_from_config("sdp", config)
+        b = registry.strategy_from_config("sdp", config)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_overrides(self):
+        config = make_config(1, profile="quick")
+        agent = registry.strategy_from_config("sdp", config, seed=99,
+                                              hidden_sizes=(8,))
+        assert agent.config.hidden_sizes == (8,)
+
+    def test_classical_ignores_config(self):
+        config = make_config(1, profile="quick")
+        agent = registry.strategy_from_config("ucrp", config)
+        assert agent.name == "UCRP"
