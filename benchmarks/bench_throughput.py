@@ -1,0 +1,273 @@
+"""Inference throughput benchmark: graph path vs the fused fast path.
+
+Measures decisions/sec and per-forward p50/p99 latency for the two
+serving-relevant workloads:
+
+* **backtest** — the SharedSDP agent back-tested over ``--panels``
+  synthetic market panels, three ways: the seed's graph path (sequential
+  ``Backtester.run`` with autograd-graph forwards), the fused sequential
+  path, and the fused lockstep-batched path (``Backtester.run_many``).
+* **serving** — a :class:`~repro.serving.PortfolioService` with
+  ``--sessions`` concurrent sessions on one shared panel, decided per
+  round through ``rebalance_many`` (micro-batched, panel-grouped
+  ``prepare_states``) and, for contrast, one-by-one ``rebalance`` calls.
+
+Every fused run is checked bit-identical to the graph run (same
+portfolio weight trajectories); ``--check`` exits non-zero on any
+mismatch so CI can gate on parity.  Results are written to
+``BENCH_throughput.json`` at the repo root so future PRs have a
+perf trajectory.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_throughput.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.agents import SDPAgent
+from repro.autograd import enable_grad
+from repro.data import MarketGenerator
+from repro.envs import Backtester, ObservationConfig
+from repro.serving import PortfolioService, RebalanceRequest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+OBSERVATION = ObservationConfig(window=6, stride=1, momentum_horizons=(1, 3, 6))
+AGENT_PARAMS = dict(
+    hidden_sizes=(128, 128),
+    timesteps=5,
+    encoder_pop_size=10,
+    decoder_pop_size=10,
+    seed=0,
+)
+
+
+class _TimedDecide:
+    """Wrap an agent's ``decide_batch``, recording per-call latency."""
+
+    def __init__(self, agent: SDPAgent, fn: Callable):
+        self.agent = agent
+        self.fn = fn
+        self.latencies: List[float] = []
+
+    def __enter__(self):
+        self._orig = self.agent.decide_batch
+
+        def timed(states):
+            t0 = time.perf_counter()
+            out = self.fn(states)
+            self.latencies.append(time.perf_counter() - t0)
+            return out
+
+        self.agent.decide_batch = timed
+        return self
+
+    def __exit__(self, *exc):
+        self.agent.decide_batch = self._orig
+
+
+def _stats(name: str, decisions: int, seconds: float, latencies: List[float]) -> Dict:
+    lat = np.asarray(latencies) * 1e3
+    return {
+        "name": name,
+        "decisions": int(decisions),
+        "seconds": round(seconds, 4),
+        "decisions_per_sec": round(decisions / seconds, 1),
+        "forward_calls": len(latencies),
+        "p50_ms": round(float(np.percentile(lat, 50)), 4),
+        "p99_ms": round(float(np.percentile(lat, 99)), 4),
+    }
+
+
+def make_panels(n_panels: int, n_assets: int):
+    return [
+        MarketGenerator(seed=100 + i)
+        .generate("2019/01/01", "2019/02/01", 7200)
+        .select_assets(list(range(n_assets)))
+        for i in range(n_panels)
+    ]
+
+
+def bench_backtest(panels, n_assets: int) -> Dict:
+    agent = SDPAgent(n_assets, observation=OBSERVATION, **AGENT_PARAMS)
+    engine = Backtester(observation=OBSERVATION)
+
+    # Seed graph path: sequential back-tests, autograd-graph forwards.
+    # Pin grad mode on so the baseline always measures real graph
+    # construction, whatever mode the surrounding engine runs in.
+    def graph_decide(states):
+        with enable_grad():
+            return agent.network.forward(states).data
+
+    with _TimedDecide(agent, graph_decide) as timer:
+        t0 = time.perf_counter()
+        graph_results = [engine.run(agent, p) for p in panels]
+        graph_s = time.perf_counter() - t0
+        graph_lat = timer.latencies
+
+    # Fused sequential: same loop, graph-free kernels.
+    with _TimedDecide(agent, agent.network.forward_inference) as timer:
+        t0 = time.perf_counter()
+        fused_seq_results = [engine.run(agent, p) for p in panels]
+        fused_seq_s = time.perf_counter() - t0
+        fused_seq_lat = timer.latencies
+
+    # Fused batched: lockstep run_many, one fused forward per period.
+    with _TimedDecide(agent, agent.network.forward_inference) as timer:
+        t0 = time.perf_counter()
+        fused_batched_results = engine.run_many(agent, panels)
+        fused_batched_s = time.perf_counter() - t0
+        fused_batched_lat = timer.latencies
+
+    decisions = sum(len(r.weights) for r in graph_results)
+    identical = all(
+        np.array_equal(g.weights, a.weights) and np.array_equal(g.weights, b.weights)
+        for g, a, b in zip(graph_results, fused_seq_results, fused_batched_results)
+    )
+    graph = _stats("backtest_graph_sequential", decisions, graph_s, graph_lat)
+    fused_seq = _stats("backtest_fused_sequential", decisions, fused_seq_s, fused_seq_lat)
+    fused_batched = _stats(
+        "backtest_fused_batched", decisions, fused_batched_s, fused_batched_lat
+    )
+    return {
+        "paths": [graph, fused_seq, fused_batched],
+        "weights_bit_identical": bool(identical),
+        "speedup_fused_batched_vs_graph": round(graph_s / fused_batched_s, 2),
+        "speedup_fused_sequential_vs_graph": round(graph_s / fused_seq_s, 2),
+    }
+
+
+def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
+    params = {"observation": OBSERVATION, **AGENT_PARAMS}
+
+    def build():
+        service = PortfolioService()
+        service.register_market("bench", panel)
+        for i in range(n_sessions):
+            service.create_session(f"s{i}", strategy="sdp", params=params, market="bench")
+        return service
+
+    # Micro-batched rounds: one panel-grouped prepare + one fused
+    # forward per round for all sessions.
+    service = build()
+    requests = [RebalanceRequest(f"s{i}") for i in range(n_sessions)]
+    round_lat: List[float] = []
+    t0 = time.perf_counter()
+    for _ in range(n_rounds):
+        r0 = time.perf_counter()
+        service.rebalance_many(requests)
+        round_lat.append(time.perf_counter() - r0)
+    batched_s = time.perf_counter() - t0
+
+    # One-by-one: the same decisions as singleton batches.
+    service_single = build()
+    single_lat: List[float] = []
+    t0 = time.perf_counter()
+    single_responses = []
+    for _ in range(n_rounds):
+        for i in range(n_sessions):
+            r0 = time.perf_counter()
+            single_responses.append(service_single.rebalance(f"s{i}"))
+            single_lat.append(time.perf_counter() - r0)
+    single_s = time.perf_counter() - t0
+
+    # Parity: round r, session i decisions must agree between modes
+    # (replayed on a fresh service so timing noise cannot leak in).
+    identical = True
+    service_check = build()
+    check_responses = []
+    for _ in range(n_rounds):
+        check_responses.extend(service_check.rebalance_many(requests))
+    for a, b in zip(check_responses, single_responses):
+        if a.t != b.t or not np.array_equal(a.weights, b.weights):
+            identical = False
+            break
+
+    decisions = n_sessions * n_rounds
+    return {
+        "sessions": n_sessions,
+        "rounds": n_rounds,
+        "paths": [
+            _stats("serving_microbatched", decisions, batched_s, round_lat),
+            _stats("serving_one_by_one", decisions, single_s, single_lat),
+        ],
+        "weights_bit_identical": bool(identical),
+        "speedup_batched_vs_one_by_one": round(single_s / batched_s, 2),
+        "stats": service.stats.to_json_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--panels", type=int, default=16)
+    parser.add_argument("--assets", type=int, default=4)
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless fused and graph paths are bit-identical",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    panels = make_panels(args.panels, args.assets)
+    backtest = bench_backtest(panels, args.assets)
+    serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
+
+    report = {
+        "bench": "throughput",
+        "config": {
+            "panels": args.panels,
+            "assets": args.assets,
+            "periods_per_panel": panels[0].n_periods,
+            "observation_window": OBSERVATION.window,
+            "network": "SharedSDP (128, 128), T=5",
+        },
+        "backtest": backtest,
+        "serving": serving,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for section in ("backtest", "serving"):
+        for path in report[section]["paths"]:
+            print(
+                f"{path['name']:32s} {path['decisions_per_sec']:>9.1f} dec/s   "
+                f"p50 {path['p50_ms']:.3f} ms   p99 {path['p99_ms']:.3f} ms"
+            )
+    print(
+        f"backtest speedup (fused batched vs seed graph): "
+        f"{backtest['speedup_fused_batched_vs_graph']}x; "
+        f"bit-identical: {backtest['weights_bit_identical']}"
+    )
+    print(
+        f"serving speedup (micro-batched vs one-by-one): "
+        f"{serving['speedup_batched_vs_one_by_one']}x; "
+        f"bit-identical: {serving['weights_bit_identical']}"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        ok = backtest["weights_bit_identical"] and serving["weights_bit_identical"]
+        if not ok:
+            print("PARITY MISMATCH: fused path diverged from graph path", file=sys.stderr)
+            return 1
+        print("parity check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Tensor, concatenate
+from ..autograd import Tensor, concatenate, no_grad
 from ..autograd import functional as F
 from ..autograd.nn import Conv2d, Module, Parameter
 from ..data.market import MarketData
@@ -122,9 +122,15 @@ class JiangDRLAgent(Agent):
         }
 
     def decide_batch(self, states: dict) -> np.ndarray:
-        """One batched CNN forward over a prepared state batch."""
-        w_assets = Tensor(states["w_prev"][:, 1:])
-        return self.network(Tensor(states["prices"]), w_assets).data
+        """One batched CNN forward over a prepared state batch.
+
+        Runs under :func:`~repro.autograd.no_grad`: the convolution
+        forward is the same numpy computation, but no backward closures
+        or graph nodes are allocated — inference never backpropagates.
+        """
+        with no_grad():
+            w_assets = Tensor(states["w_prev"][:, 1:])
+            return self.network(Tensor(states["prices"]), w_assets).data
 
     def policy_forward(
         self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray

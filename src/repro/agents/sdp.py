@@ -139,8 +139,14 @@ class SDPAgent(Agent):
         return self.prepare_states(data, indices, w_prev)
 
     def decide_batch(self, states: np.ndarray) -> np.ndarray:
-        """One batched SNN forward over a prepared state batch."""
-        return self.network.forward(states).data
+        """One batched SNN forward over a prepared state batch.
+
+        Inference never takes a gradient, so this routes through the
+        fused graph-free kernels (:meth:`SDPNetwork.forward_inference`) —
+        bit-identical decisions to the autograd path at a fraction of
+        the cost.  Training goes through :meth:`policy_forward`.
+        """
+        return self.network.forward_inference(states)
 
     def policy_forward(
         self, data: MarketData, indices: np.ndarray, w_prev: np.ndarray
@@ -161,7 +167,7 @@ class SDPAgent(Agent):
     ) -> ActivityRecord:
         """Spike/synop counts of one inference (Loihi energy model input)."""
         states = self.prepare_states(data, np.array([t]), np.asarray(w_prev)[None, :])
-        _, activity = self.network.forward_with_activity(states, timesteps)
+        _, activity = self.network.forward_inference_with_activity(states, timesteps)
         return activity
 
     def dense_equivalent_macs(self) -> int:

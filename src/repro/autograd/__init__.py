@@ -12,8 +12,12 @@ from .tensor import (
     Tensor,
     concatenate,
     custom_op,
+    enable_grad,
     ensure_tensor,
+    is_grad_enabled,
+    no_grad,
     ones,
+    set_grad_enabled,
     stack,
     unbroadcast,
     where,
@@ -25,11 +29,15 @@ __all__ = [
     "Tensor",
     "concatenate",
     "custom_op",
+    "enable_grad",
     "ensure_tensor",
     "functional",
+    "is_grad_enabled",
     "nn",
+    "no_grad",
     "ones",
     "optim",
+    "set_grad_enabled",
     "stack",
     "unbroadcast",
     "where",

@@ -30,6 +30,84 @@ Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float64
 
+# ----------------------------------------------------------------------
+# Global grad mode.  When disabled, Tensor._make returns plain leaf
+# tensors: no parents, no backward closures, no graph — the inference
+# fast path.  Thread-local so a serving thread running under no_grad()
+# cannot disable graph construction in a concurrently training thread.
+import threading as _threading
+
+
+class _GradMode(_threading.local):
+    enabled: bool = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _grad_mode.enabled
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set the global grad mode; returns the previous mode.
+
+    Prefer the :func:`no_grad` / :func:`enable_grad` context managers,
+    which restore the previous mode even when an exception escapes.
+    """
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = bool(mode)
+    return previous
+
+
+class _GradContext:
+    """Context manager / decorator that pins the grad mode.
+
+    Re-entrant and exception-safe: the previous mode is restored on
+    exit no matter how the block terminates.
+    """
+
+    __slots__ = ("_mode", "_stack")
+
+    def __init__(self, mode: bool):
+        self._mode = mode
+        self._stack: List[bool] = []
+
+    def __enter__(self) -> "_GradContext":
+        self._stack.append(set_grad_enabled(self._mode))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_grad_enabled(self._stack.pop())
+
+    def __call__(self, fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _GradContext(self._mode):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def no_grad() -> _GradContext:
+    """Disable graph construction inside a ``with`` block (or decorator).
+
+    Every operation performed under ``no_grad()`` returns a leaf tensor
+    holding only the forward value — no parents, no backward closures —
+    so pure-inference code (back-testing, serving) skips the per-op
+    graph allocation entirely.  Nesting and exceptions are handled; the
+    previous mode is always restored.
+    """
+    return _GradContext(False)
+
+
+def enable_grad() -> _GradContext:
+    """Re-enable graph construction inside a ``no_grad()`` region."""
+    return _GradContext(True)
+
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` (shape produced by broadcasting) back to ``shape``.
@@ -146,7 +224,7 @@ class Tensor:
         op: str = "",
     ) -> "Tensor":
         out = Tensor(data)
-        if any(p.requires_grad for p in parents):
+        if _grad_mode.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

@@ -68,6 +68,53 @@ class MarketData:
             raise ValueError("volume must be non-negative")
 
     # ------------------------------------------------------------------
+    # Derived panels used by the observation builders on every decision.
+    # Computed once per panel and cached, keyed by the *identity* of the
+    # source arrays: assigning a replacement array (even same-shape)
+    # invalidates the cache.  In-place mutation of price arrays is
+    # unsupported — the repo treats panels as immutable after
+    # construction.
+    def _cached_panel(self, key: str, sources: tuple, build) -> np.ndarray:
+        cache = self.__dict__.get(key)
+        if cache is not None and all(
+            a is b for a, b in zip(cache[0], sources)
+        ) and len(cache[0]) == len(sources):
+            return cache[1]
+        value = build()
+        self.__dict__[key] = (sources, value)
+        return value
+
+    def log_close_panel(self) -> np.ndarray:
+        """``ln(close)`` for the whole panel, cached."""
+        return self._cached_panel(
+            "_log_close_cache", (self.close,), lambda: np.log(self.close)
+        )
+
+    def feature_panel(self, include_open: bool = True) -> np.ndarray:
+        """``(features, periods, assets)`` stack of close/high/low
+        (+ open), cached — the EIIE price-tensor source."""
+        feats = [self.close, self.high, self.low]
+        if include_open:
+            feats.append(self.open)
+        return self._cached_panel(
+            f"_feature_panel_cache_{include_open}",
+            tuple(feats),
+            lambda: np.stack(feats, axis=0),
+        )
+
+    def log_candle_panel(self) -> np.ndarray:
+        """``(n_periods, n_assets, 3)`` of ``ln(high/close)``,
+        ``ln(low/close)``, ``ln(open/close)``, cached."""
+        return self._cached_panel(
+            "_log_candle_cache",
+            (self.high, self.low, self.open, self.close),
+            lambda: np.log(
+                np.stack([self.high, self.low, self.open], axis=2)
+                / self.close[:, :, None]
+            ),
+        )
+
+    # ------------------------------------------------------------------
     @property
     def n_periods(self) -> int:
         return self.close.shape[0]

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..data.market import MarketData
 from ..metrics import BacktestMetrics, evaluate_backtest
 from .costs import DEFAULT_COMMISSION
@@ -140,7 +141,13 @@ class Backtester:
 
     # ------------------------------------------------------------------
     def run(self, agent: "Agent", data: MarketData) -> BacktestResult:
-        """Sequential back-test of ``agent`` over ``data``."""
+        """Sequential back-test of ``agent`` over ``data``.
+
+        ``act`` runs in whatever grad mode is ambient: the built-in
+        agents route their own inference through graph-free kernels,
+        while user strategies that adapt online (backprop inside
+        ``act``) keep working.
+        """
         env = self.make_env(data)
         agent.begin_backtest(data)
         done = False
@@ -175,7 +182,11 @@ class Backtester:
                 )
                 for i in live
             ]
-            actions = np.asarray(agent.decide_batch(concat_states(parts)))
+            # decide_batch is pure inference on a stateless agent (the
+            # stateless contract: no mutable state, no backprop), so
+            # graph construction can be disabled outright.
+            with no_grad():
+                actions = np.asarray(agent.decide_batch(concat_states(parts)))
             if actions.ndim != 2 or actions.shape[0] != len(live):
                 raise ValueError(
                     f"{agent.name}: decide_batch returned shape "

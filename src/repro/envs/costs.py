@@ -39,11 +39,11 @@ def _check_weights(w: np.ndarray, name: str) -> np.ndarray:
     w = np.asarray(w, dtype=np.float64)
     if w.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got shape {w.shape}")
-    if np.any(w < -1e-9):
+    if w.min() < -1e-9:
         raise ValueError(f"{name} has negative entries")
     if abs(w.sum() - 1.0) > 1e-6:
         raise ValueError(f"{name} must sum to 1, sums to {w.sum():.8f}")
-    return np.clip(w, 0.0, None)
+    return np.maximum(w, 0.0)
 
 
 def drifted_weights(w_prev: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -84,13 +84,30 @@ def transaction_remainder_exact(
     if cp == 0.0 and cs == 0.0:
         return 1.0
 
+    # The fixed point iterates over a handful of scalars; plain Python
+    # floats run it an order of magnitude faster than numpy ufuncs on
+    # length-N arrays (this sits on the back-test/serving hot path).
+    wp = w_prime.tolist()
+    wt = w.tolist()
+    wp0, wt0 = wp[0], wt[0]
+    wp_assets, wt_assets = wp[1:], wt[1:]
     combined = cs + cp - cs * cp
-    mu = 1.0 - cp * w[0] - combined * float(np.maximum(w_prime[1:] - w[1:], 0).sum())
-    mu = float(np.clip(mu, 0.0, 1.0))
+    sell = 0.0
+    for a, b in zip(wp_assets, wt_assets):
+        d = a - b
+        if d > 0.0:
+            sell += d
+    mu = 1.0 - cp * wt0 - combined * sell
+    mu = min(max(mu, 0.0), 1.0)
+    denom = 1.0 - cp * wt0
     for _ in range(_MAX_ITERATIONS):
-        sell = np.maximum(w_prime[1:] - mu * w[1:], 0.0).sum()
-        mu_next = (1.0 - cp * w_prime[0] - combined * sell) / (1.0 - cp * w[0])
-        mu_next = float(np.clip(mu_next, 0.0, 1.0))
+        sell = 0.0
+        for a, b in zip(wp_assets, wt_assets):
+            d = a - mu * b
+            if d > 0.0:
+                sell += d
+        mu_next = (1.0 - cp * wp0 - combined * sell) / denom
+        mu_next = min(max(mu_next, 0.0), 1.0)
         if abs(mu_next - mu) < _TOLERANCE:
             return mu_next
         mu = mu_next

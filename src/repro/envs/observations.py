@@ -25,11 +25,21 @@ no-look-ahead property is covered by property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..data.market import MarketData
+
+
+@lru_cache(maxsize=128)
+def _momentum_scales(
+    horizons: Tuple[int, ...], log_scale: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached per-config horizon index array and ``(1, H, 1)`` scales."""
+    h = np.asarray(horizons, dtype=np.int64)
+    return h, (log_scale / np.sqrt(h))[None, :, None]
 
 #: Feature order of the price tensor (open is appended when requested).
 PRICE_FEATURES = ("close", "high", "low")
@@ -114,10 +124,7 @@ class ObservationConfig:
 
 def _feature_panel(data: MarketData, include_open: bool) -> np.ndarray:
     """Stack OHLC features into shape (features, periods, assets)."""
-    feats = [data.close, data.high, data.low]
-    if include_open:
-        feats.append(data.open)
-    return np.stack(feats, axis=0)
+    return data.feature_panel(include_open)
 
 
 def price_tensor(
@@ -198,25 +205,30 @@ def sdp_asset_features_batch(
             f"got {w_prev.shape}"
         )
 
-    log_close = np.log(data.close)
-    columns = []
-    for h in config.momentum_horizons:
-        ret = log_close[indices] - log_close[indices - h]  # (B, A)
-        scale = config.log_scale / np.sqrt(h)
-        columns.append(np.clip(scale * ret, -1.0, 1.0))
-    columns.append(
-        np.clip(config.log_scale * np.log(data.high[indices] / data.close[indices]), -1, 1)
-    )
-    columns.append(
-        np.clip(config.log_scale * np.log(data.low[indices] / data.close[indices]), -1, 1)
-    )
-    columns.append(
-        np.clip(config.log_scale * np.log(data.open[indices] / data.close[indices]), -1, 1)
-    )
-    columns.append(2.0 * w_prev[:, 1:] - 1.0)  # own previous weight
-    cash = np.repeat((2.0 * w_prev[:, :1] - 1.0), data.n_assets, axis=1)
-    columns.append(cash)  # previous cash weight (same for every asset)
-    return np.stack(columns, axis=2)
+    # Fully vectorised over batch, horizon, and asset, gathering from
+    # panels of logs cached on the MarketData (the seed re-logged the
+    # whole close panel on every call).  Elementwise ops on the same
+    # values — bit-identical features to the seed's per-column loop.
+    horizons, scale = _momentum_scales(config.momentum_horizons, config.log_scale)
+    n_h = horizons.shape[0]
+    log_close = data.log_close_panel()
+    ret = (
+        log_close[indices][:, None, :]
+        - log_close[indices[:, None] - horizons[None, :]]
+    )  # (B, H, A)
+    momentum = np.clip(scale * ret, -1.0, 1.0)
+
+    candle = np.clip(
+        config.log_scale * data.log_candle_panel()[indices], -1.0, 1.0
+    )  # (B, A, 3)
+
+    out = np.empty((batch, data.n_assets, n_h + 5))
+    out[:, :, :n_h] = np.swapaxes(momentum, 1, 2)
+    out[:, :, n_h : n_h + 3] = candle
+    out[:, :, n_h + 3] = 2.0 * w_prev[:, 1:] - 1.0  # own previous weight
+    # Previous cash weight (same for every asset).
+    out[:, :, n_h + 4] = 2.0 * w_prev[:, :1] - 1.0
+    return out
 
 
 def sdp_state_batch(
@@ -238,20 +250,17 @@ def sdp_state_batch(
             f"got {w_prev.shape}"
         )
 
-    log_close = np.log(data.close)
-    blocks = []
-    for h in config.momentum_horizons:
-        ret = log_close[indices] - log_close[indices - h]  # (B, A)
-        scale = config.log_scale / np.sqrt(h)
-        blocks.append(np.clip(scale * ret, -1.0, 1.0))
-    candle = np.stack(
-        [
-            np.log(data.high[indices] / data.close[indices]),
-            np.log(data.low[indices] / data.close[indices]),
-            np.log(data.open[indices] / data.close[indices]),
-        ],
-        axis=2,
-    )  # (B, A, 3)
+    # Vectorised over batch × horizon × asset, gathering from cached
+    # log panels (bit-identical to per-horizon np.log over the full
+    # panel — the log runs once per panel instead of once per call).
+    horizons, scale = _momentum_scales(config.momentum_horizons, config.log_scale)
+    log_close = data.log_close_panel()
+    ret = (
+        log_close[indices][:, None, :]
+        - log_close[indices[:, None] - horizons[None, :]]
+    )  # (B, H, A)
+    blocks = [np.clip(scale * ret, -1.0, 1.0).reshape(batch, -1)]
+    candle = data.log_candle_panel()[indices]  # (B, A, 3)
     blocks.append(
         np.clip(config.log_scale * candle, -1.0, 1.0).reshape(batch, -1)
     )

@@ -43,14 +43,17 @@ def normalize_action(action: np.ndarray, action_dim: int, context: str = "action
         raise ValueError(
             f"{context} must have shape ({action_dim},), got {action.shape}"
         )
-    if not np.all(np.isfinite(action)):
+    # One reduction covers the finiteness check: any non-finite entry
+    # makes the sum non-finite (inf propagates; inf − inf and nan both
+    # yield nan), and the sum is needed anyway.
+    total = float(action.sum())
+    if not np.isfinite(total):
         raise ValueError(f"{context} must be finite")
-    if np.any(action < -1e-9):
+    if float(action.min()) < -1e-9:
         raise ValueError(f"{context} weights must be non-negative")
-    total = action.sum()
     if abs(total - 1.0) > 1e-6:
         raise ValueError(f"{context} must sum to 1, sums to {total:.8f}")
-    action = np.clip(action, 0.0, None)
+    action = np.maximum(action, 0.0)
     return action / action.sum()
 
 
@@ -158,7 +161,10 @@ class PortfolioEnv:
         if t + 1 >= self.data.n_periods:
             raise IndexError(f"no price relative beyond period {t}")
         rel = self.data.close[t + 1] / self.data.close[t]
-        return np.concatenate([[1.0], rel])
+        out = np.empty(rel.shape[0] + 1)
+        out[0] = 1.0
+        out[1:] = rel
+        return out
 
     @property
     def previous_weights(self) -> np.ndarray:

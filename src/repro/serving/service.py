@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..agents.base import Agent, concat_states
+from ..autograd import no_grad
 from ..data.market import MarketData
 from ..envs.costs import DEFAULT_COMMISSION
 from ..envs.observations import ObservationConfig
@@ -616,15 +617,27 @@ class PortfolioService:
 
         for group in groups.values():
             agent = group[0][1].agent
-            parts = [
-                agent.prepare_states(
-                    session.data,
-                    np.array([t]),
-                    staged[session.session_id].w_prev[None, :],
+            # Sub-group the round's sessions by shared panel: one
+            # prepare_states call per panel with stacked indices and
+            # weights vectorises feature construction too, not just the
+            # network forward (sessions serving the same market panel
+            # are the common case at scale).
+            panel_items: Dict[int, List[Tuple[int, _Session, int]]] = {}
+            for item in group:
+                panel_items.setdefault(id(item[1].data), []).append(item)
+            ordered: List[Tuple[int, _Session, int]] = []
+            parts = []
+            for panel_group in panel_items.values():
+                indices = np.array([t for _, _, t in panel_group], dtype=np.int64)
+                w_prev = np.stack(
+                    [staged[s.session_id].w_prev for _, s, _ in panel_group]
                 )
-                for _, session, t in group
-            ]
-            weights = np.asarray(agent.decide_batch(concat_states(parts)))
+                parts.append(
+                    agent.prepare_states(panel_group[0][1].data, indices, w_prev)
+                )
+                ordered.extend(panel_group)
+            with no_grad():
+                weights = np.asarray(agent.decide_batch(concat_states(parts)))
             if weights.ndim != 2 or weights.shape[0] != len(group):
                 raise InvalidStrategyOutput(
                     f"strategy {group[0][1].spec['strategy']!r}: decide_batch "
@@ -636,9 +649,12 @@ class PortfolioService:
                 stats.largest_batch = max(stats.largest_batch, len(group))
             else:
                 stats.single_decisions += 1
-            for (pos, session, t), w in zip(group, weights):
+            for (pos, session, t), w in zip(ordered, weights):
                 responses[pos] = self._stage_decision(staged, session, t, w)
 
+        # Stateful strategies keep the ambient grad mode: act() is a
+        # user extension point that may legitimately adapt online
+        # (backprop inside act), unlike the stateless decide_batch path.
         for pos, session, t in singles:
             w = session.agent.act(
                 session.data, t, staged[session.session_id].w_prev
@@ -876,33 +892,41 @@ class MicroBatcher:
         transactional batch, leaving every session untouched), fall
         back to serving each request individually so only the
         offenders see the error.
+
+        Outcomes are tracked per slot as they commit: when a
+        ``KeyboardInterrupt``/``SystemExit`` lands mid individual
+        fallback, slots whose decisions already committed still get
+        their real responses — only the requests that never ran see the
+        interrupt.
         """
+        # slot id -> (response, error); filled in as outcomes commit.
+        outcomes: Dict[int, Tuple[Optional[RebalanceResponse], Optional[BaseException]]] = {}
         try:
             try:
                 responses = self.service.rebalance_many(
                     [req for req, _ in batch]
                 )
-                results = [
-                    (s, resp, None) for (_, s), resp in zip(batch, responses)
-                ]
+                for (_, s), resp in zip(batch, responses):
+                    outcomes[id(s)] = (resp, None)
             except Exception:
-                results = []
                 for req, s in batch:
                     try:
-                        results.append((s, self.service.rebalance(req), None))
+                        outcomes[id(s)] = (self.service.rebalance(req), None)
                     except Exception as exc:
-                        results.append((s, None, exc))
+                        outcomes[id(s)] = (None, exc)
         except BaseException as exc:
-            # KeyboardInterrupt/SystemExit: fail the waiters so none
-            # hang, then let the interrupt propagate.
+            # KeyboardInterrupt/SystemExit: report committed slots
+            # accurately, fail only the undone ones, then propagate.
             with self._cond:
                 for _, s in batch:
-                    s.response, s.error, s.done = None, exc, True
+                    resp, err = outcomes.get(id(s), (None, exc))
+                    s.response, s.error, s.done = resp, err, True
                 self._leader_active = False
                 self._cond.notify_all()
             raise
         with self._cond:
-            for s, resp, err in results:
+            for _, s in batch:
+                resp, err = outcomes[id(s)]
                 s.response, s.error, s.done = resp, err, True
             self._leader_active = False
             self._cond.notify_all()

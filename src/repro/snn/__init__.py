@@ -16,7 +16,14 @@ from .network import (
     SharedSDPConfig,
     SharedSDPNetwork,
 )
-from .neurons import LIFParameters, LIFState, lif_step, spike_function
+from .neurons import (
+    LIFInferenceState,
+    LIFParameters,
+    LIFState,
+    lif_step,
+    lif_step_inference,
+    spike_function,
+)
 from .surrogate import (
     SurrogateGradient,
     arctan,
@@ -29,6 +36,7 @@ from .surrogate import (
 __all__ = [
     "ActivityRecord",
     "EncoderConfig",
+    "LIFInferenceState",
     "LIFParameters",
     "LIFState",
     "PopulationDecoder",
@@ -44,6 +52,7 @@ __all__ = [
     "fast_sigmoid",
     "get_surrogate",
     "lif_step",
+    "lif_step_inference",
     "rectangular",
     "spike_function",
     "triangular",

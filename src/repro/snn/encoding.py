@@ -138,15 +138,21 @@ class PopulationEncoder:
         return self._encode_probabilistic(drive, timesteps)
 
     def _encode_deterministic(self, drive: np.ndarray, timesteps: int) -> np.ndarray:
-        """One-step soft-reset LIF accumulators (eqs. (3)-(4))."""
+        """One-step soft-reset LIF accumulators (eqs. (3)-(4)).
+
+        The whole train is emitted as one ``(T, batch, neurons)`` array;
+        the accumulator voltage is updated in place so the per-step loop
+        allocates only the boolean fired mask.
+        """
         threshold = 1.0 - self.config.epsilon
         voltage = np.zeros_like(drive)
         spikes = np.empty((timesteps,) + drive.shape, dtype=np.float64)
         for t in range(timesteps):
-            voltage = voltage + drive  # eq. (3): no leak
+            np.add(voltage, drive, out=voltage)  # eq. (3): no leak
             fired = voltage > threshold
             spikes[t] = fired
-            voltage = np.where(fired, voltage - threshold, voltage)  # eq. (4)
+            # eq. (4): soft reset — subtract the threshold where fired.
+            np.subtract(voltage, threshold, out=voltage, where=fired)
         return spikes
 
     def _encode_probabilistic(self, drive: np.ndarray, timesteps: int) -> np.ndarray:

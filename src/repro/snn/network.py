@@ -220,6 +220,24 @@ class SharedSDPNetwork(Module):
     ) -> Tuple["Tensor", ActivityRecord]:
         return self._run(asset_features, timesteps, record=True)
 
+    def forward_inference(
+        self, asset_features: np.ndarray, timesteps: Optional[int] = None
+    ) -> np.ndarray:
+        """Graph-free fused forward; bit-identical to :meth:`forward`.
+
+        Runs the whole ``T``-step unroll on preallocated, in-place
+        updated LIF buffers and returns a plain ``(batch, n_assets + 1)``
+        ndarray — no autograd nodes are created anywhere.
+        """
+        action, _ = self._run_inference(asset_features, timesteps, record=False)
+        return action
+
+    def forward_inference_with_activity(
+        self, asset_features: np.ndarray, timesteps: Optional[int] = None
+    ) -> Tuple[np.ndarray, ActivityRecord]:
+        """Fused forward that also returns the Loihi activity counts."""
+        return self._run_inference(asset_features, timesteps, record=True)
+
     def _run(self, asset_features, timesteps, record):
         from ..autograd import Tensor as _T
         from ..autograd import concatenate
@@ -277,9 +295,65 @@ class SharedSDPNetwork(Module):
             )
         return action, activity
 
+    def _run_inference(
+        self, asset_features, timesteps, record
+    ) -> Tuple[np.ndarray, Optional[ActivityRecord]]:
+        timesteps = timesteps if timesteps is not None else self.config.timesteps
+        feats = np.asarray(asset_features, dtype=np.float64)
+        if feats.ndim == 2:
+            feats = feats[None]
+        batch, n_assets, d = feats.shape
+        if d != self.config.feature_dim:
+            raise ValueError(
+                f"expected feature_dim={self.config.feature_dim}, got {d}"
+            )
+        flat = feats.reshape(batch * n_assets, d)
+        spike_trains = self.encoder.encode(flat, timesteps)  # (T, B·A, N)
+        states = self.stack.make_inference_states(batch * n_assets)
+
+        sum_spikes = np.zeros((batch * n_assets, self.stack.out_features))
+        layer_spikes = [0.0] * len(self.stack.layers)
+        synaptic_ops = [0.0] * len(self.stack.layers)
+        input_total = 0.0
+        for t in range(timesteps):
+            spikes = spike_trains[t]
+            if record:
+                input_total += float(spikes.sum())
+            for k, (layer, state) in enumerate(zip(self.stack.layers, states)):
+                if record:
+                    synaptic_ops[k] += float(spikes.sum()) * layer.out_features
+                spikes = layer.step_inference(spikes, state)
+                if record:
+                    layer_spikes[k] += float(spikes.sum())
+            sum_spikes += spikes
+
+        rates = sum_spikes * (1.0 / timesteps)
+        scores = rates @ self.readout_weight.data + self.readout_bias.data
+        scores = scores.reshape(batch, n_assets)
+        cash = self.cash_bias.data.reshape(1, 1) * np.ones((batch, 1))
+        logits = np.concatenate([cash, scores], axis=1)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        temp = np.exp(shifted)
+        action = temp / temp.sum(axis=1, keepdims=True)
+
+        activity = None
+        if record:
+            activity = ActivityRecord(
+                timesteps=timesteps,
+                batch_size=batch,  # one *inference* covers all assets
+                input_spikes=input_total,
+                layer_spikes=layer_spikes,
+                synaptic_ops=synaptic_ops,
+                neuron_updates=[
+                    float(l.out_features * timesteps * batch * n_assets)
+                    for l in self.stack.layers
+                ],
+            )
+        return action, activity
+
     def act(self, asset_features: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
-        action = self.forward(np.asarray(asset_features)[None], timesteps)
-        return action.data[0]
+        action = self.forward_inference(np.asarray(asset_features)[None], timesteps)
+        return action[0]
 
 
 class SDPNetwork(Module):
@@ -354,6 +428,24 @@ class SDPNetwork(Module):
         """Forward pass that also returns spike/synop counts."""
         return self._run(states, timesteps, record=True)
 
+    def forward_inference(
+        self, states: np.ndarray, timesteps: Optional[int] = None
+    ) -> np.ndarray:
+        """Graph-free fused forward; bit-identical to :meth:`forward`.
+
+        The ``T``-step unroll runs on preallocated, in-place-updated
+        ``c``/``v``/``o`` buffers and returns a plain
+        ``(batch, num_actions)`` ndarray — no autograd nodes anywhere.
+        """
+        action, _ = self._run_inference(states, timesteps, record=False)
+        return action
+
+    def forward_inference_with_activity(
+        self, states: np.ndarray, timesteps: Optional[int] = None
+    ) -> Tuple[np.ndarray, ActivityRecord]:
+        """Fused forward that also returns the Loihi activity counts."""
+        return self._run_inference(states, timesteps, record=True)
+
     # ------------------------------------------------------------------
     def _run(
         self, states: np.ndarray, timesteps: Optional[int], record: bool
@@ -403,7 +495,54 @@ class SDPNetwork(Module):
             )
         return action, activity
 
+    def _run_inference(
+        self, states: np.ndarray, timesteps: Optional[int], record: bool
+    ) -> Tuple[np.ndarray, Optional[ActivityRecord]]:
+        timesteps = timesteps if timesteps is not None else self.config.timesteps
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        batch = states.shape[0]
+
+        spike_trains = self.encoder.encode(states, timesteps)  # (T, B, N)
+        buffer_states = self.stack.make_inference_states(batch)
+
+        sum_spikes = np.zeros((batch, self.stack.out_features))
+        layer_spikes = [0.0] * len(self.stack.layers)
+        synaptic_ops = [0.0] * len(self.stack.layers)
+        input_total = 0.0
+
+        for t in range(timesteps):
+            spikes = spike_trains[t]
+            if record:
+                input_total += float(spikes.sum())
+            for k, (layer, state) in enumerate(
+                zip(self.stack.layers, buffer_states)
+            ):
+                if record:
+                    synaptic_ops[k] += float(spikes.sum()) * layer.out_features
+                spikes = layer.step_inference(spikes, state)
+                if record:
+                    layer_spikes[k] += float(spikes.sum())
+            sum_spikes += spikes
+
+        action = self.decoder.decode_inference(sum_spikes, timesteps)
+
+        activity = None
+        if record:
+            neuron_updates = [
+                float(layer.out_features * timesteps * batch)
+                for layer in self.stack.layers
+            ]
+            activity = ActivityRecord(
+                timesteps=timesteps,
+                batch_size=batch,
+                input_spikes=input_total,
+                layer_spikes=layer_spikes,
+                synaptic_ops=synaptic_ops,
+                neuron_updates=neuron_updates,
+            )
+        return action, activity
+
     def act(self, state: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
         """Single-state convenience wrapper returning a numpy action."""
-        action = self.forward(np.atleast_2d(state), timesteps)
-        return action.data[0]
+        action = self.forward_inference(np.atleast_2d(state), timesteps)
+        return action[0]

@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, custom_op
+from ..autograd import Tensor, custom_op, is_grad_enabled
 from .surrogate import SurrogateGradient, rectangular
 
 # Paper defaults (Table 2): Vth, dc, dv = 0.5, 0.5, 0.80
@@ -80,9 +80,15 @@ def spike_function(
     Forward: ``o = 1[v > V_th]``.  Backward: ``do/dv = z(v)`` where ``z``
     is the rectangular window of eq. (11) unless another surrogate is
     supplied.
+
+    The surrogate window is only evaluated when a gradient can actually
+    flow back (``voltage`` requires grad and grad mode is enabled);
+    inference steps skip that array entirely.
     """
-    surrogate = surrogate if surrogate is not None else rectangular()
     spikes = (voltage.data > v_threshold).astype(voltage.data.dtype)
+    if not (voltage.requires_grad and is_grad_enabled()):
+        return Tensor(spikes)
+    surrogate = surrogate if surrogate is not None else rectangular()
     pseudo = surrogate(voltage.data, v_threshold)
 
     def backward(g: np.ndarray):
@@ -112,6 +118,61 @@ def lif_step(
     voltage = state.voltage * params.voltage_decay * (1.0 - state.spikes) + current
     spikes = spike_function(voltage, params.v_threshold, surrogate)
     return LIFState(current=current, voltage=voltage, spikes=spikes)
+
+
+@dataclass
+class LIFInferenceState:
+    """Preallocated numpy ``c``/``v``/``o`` buffers for the fused
+    inference kernel.
+
+    One set of buffers carries a whole ``T``-step unroll: every
+    :func:`lif_step_inference` updates them in place, so the unroll
+    allocates nothing per step (beyond the synaptic drive the caller
+    computes).  ``scratch`` holds the transient ``1 − o`` gating term.
+    """
+
+    current: np.ndarray
+    voltage: np.ndarray
+    spikes: np.ndarray
+    scratch: np.ndarray
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...]) -> "LIFInferenceState":
+        return cls(
+            current=np.zeros(shape),
+            voltage=np.zeros(shape),
+            spikes=np.zeros(shape),
+            scratch=np.empty(shape),
+        )
+
+
+def lif_step_inference(
+    synaptic_input: np.ndarray,
+    state: LIFInferenceState,
+    params: LIFParameters,
+) -> np.ndarray:
+    """Fused pure-numpy LIF step for inference (no autograd graph).
+
+    Performs exactly the elementwise operations of :func:`lif_step`, in
+    the same order, but in place on the preallocated buffers — so the
+    emitted spikes are bit-identical to the graph path while allocating
+    no graph nodes and no intermediate arrays.
+
+    Returns ``state.spikes`` (the in-place-updated ``o`` buffer).
+    """
+    c, v, o = state.current, state.voltage, state.spikes
+    # c(t) = dc · c(t−1) + I(t)
+    np.multiply(c, params.current_decay, out=c)
+    np.add(c, synaptic_input, out=c)
+    # v(t) = dv · v(t−1) · (1 − o(t−1)) + c(t)
+    np.multiply(v, params.voltage_decay, out=v)
+    np.subtract(1.0, o, out=state.scratch)
+    np.multiply(v, state.scratch, out=v)
+    np.add(v, c, out=v)
+    # o(t) = 1[v(t) > V_th]; unsafe casting writes the bool result
+    # straight into the float buffer (True → 1.0, same as astype).
+    np.greater(v, params.v_threshold, out=o, casting="unsafe")
+    return o
 
 
 def integrate_and_fire_rate(

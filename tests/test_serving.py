@@ -648,3 +648,127 @@ class TestHTTP:
             assert "kaput" in json.loads(excinfo.value.read())["error"]
         finally:
             server.shutdown()
+
+
+class TestPanelGroupedPrepare:
+    """A round's sessions sharing a panel get one stacked prepare_states."""
+
+    def _twin_panel(self, market):
+        from repro.data import MarketData
+
+        return MarketData(
+            timestamps=market.timestamps,
+            names=list(market.names),
+            open=market.open,
+            high=market.high,
+            low=market.low,
+            close=market.close,
+            volume=market.volume,
+            period_seconds=market.period_seconds,
+        )
+
+    def test_one_prepare_call_per_panel(self, config, market, sdp_params):
+        service = make_service(config, market)
+        service.register_market("m2", self._twin_panel(market))
+        for sid, m in [("a", "m"), ("b", "m"), ("c", "m"), ("d", "m2"), ("e", "m2")]:
+            service.create_session(sid, "sdp", params=sdp_params, market=m)
+
+        agent = service._sessions["a"].agent
+        assert all(
+            service._sessions[s].agent is agent for s in "bcde"
+        ), "identical specs must share one agent"
+
+        calls = []
+        orig = agent.prepare_states
+
+        def counting(data, indices, w_prev):
+            calls.append((id(data), len(np.atleast_1d(indices))))
+            return orig(data, indices, w_prev)
+
+        agent.prepare_states = counting
+        try:
+            responses = service.rebalance_many(
+                [RebalanceRequest(s) for s in "abcde"]
+            )
+        finally:
+            agent.prepare_states = orig
+
+        # One stacked call per distinct panel, not one per session.
+        assert len(calls) == 2
+        assert sorted(n for _, n in calls) == [2, 3]
+        assert service.stats.largest_batch == 5
+        assert [r.session_id for r in responses] == list("abcde")
+
+    def test_grouped_decisions_match_ungrouped(self, config, market, sdp_params):
+        grouped = make_service(config, market)
+        grouped.register_market("m2", self._twin_panel(market))
+        single = make_service(config, market)
+        single.register_market("m2", self._twin_panel(market))
+        for sid, m in [("a", "m"), ("b", "m"), ("c", "m2")]:
+            grouped.create_session(sid, "sdp", params=sdp_params, market=m)
+            single.create_session(sid, "sdp", params=sdp_params, market=m)
+
+        for _ in range(3):
+            batched = grouped.rebalance_many(
+                [RebalanceRequest(s) for s in "abc"]
+            )
+            solo = [single.rebalance(s) for s in "abc"]
+            for x, y in zip(batched, solo):
+                assert x.t == y.t
+                assert np.array_equal(x.weights, y.weights)
+
+
+class TestMicroBatcherSlotBookkeeping:
+    def test_interrupt_mid_fallback_reports_committed_slots(self):
+        from repro.serving.service import _Slot
+
+        served = []
+
+        class FakeService:
+            def rebalance_many(self, requests):
+                raise ValueError("force the individual fallback")
+
+            def rebalance(self, request):
+                if request.session_id == "boom":
+                    raise KeyboardInterrupt()
+                served.append(request.session_id)
+                return f"ok:{request.session_id}"
+
+        batcher = MicroBatcher(FakeService())
+        batch = [
+            (RebalanceRequest("a"), _Slot()),
+            (RebalanceRequest("b"), _Slot()),
+            (RebalanceRequest("boom"), _Slot()),
+            (RebalanceRequest("late"), _Slot()),
+        ]
+        batcher._leader_active = True
+        with pytest.raises(KeyboardInterrupt):
+            batcher._flush(batch)
+
+        slots = [s for _, s in batch]
+        assert all(s.done for s in slots)
+        # Slots whose decisions committed before the interrupt keep
+        # their real responses (the old code marked them all failed).
+        assert served == ["a", "b"]
+        assert slots[0].response == "ok:a" and slots[0].error is None
+        assert slots[1].response == "ok:b" and slots[1].error is None
+        # The interrupted and the never-served slot report the interrupt.
+        assert isinstance(slots[2].error, KeyboardInterrupt)
+        assert isinstance(slots[3].error, KeyboardInterrupt)
+        assert batcher._leader_active is False
+
+    def test_fallback_isolates_bad_request(self, config, market, sdp_params):
+        from repro.serving.service import _Slot
+
+        service = make_service(config, market)
+        service.create_session("good", "sdp", params=sdp_params, market="m")
+        batcher = MicroBatcher(service)
+        batch = [
+            (RebalanceRequest("good"), _Slot()),
+            (RebalanceRequest("ghost"), _Slot()),
+        ]
+        batcher._leader_active = True
+        batcher._flush(batch)
+        assert batch[0][1].response.session_id == "good"
+        assert batch[0][1].error is None
+        assert isinstance(batch[1][1].error, KeyError)
