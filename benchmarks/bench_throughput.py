@@ -1,7 +1,7 @@
-"""Inference throughput benchmark: graph path vs the fused fast path.
+"""Inference + training throughput benchmark: graph vs fused paths.
 
 Measures decisions/sec and per-forward p50/p99 latency for the two
-serving-relevant workloads:
+serving-relevant workloads plus the training loop:
 
 * **backtest** — the SharedSDP agent back-tested over ``--panels``
   synthetic market panels, three ways: the seed's graph path (sequential
@@ -11,12 +11,19 @@ serving-relevant workloads:
   ``--sessions`` concurrent sessions on one shared panel, decided per
   round through ``rebalance_many`` (micro-batched, panel-grouped
   ``prepare_states``) and, for contrast, one-by-one ``rebalance`` calls.
+* **training** — ``PolicyTrainer`` minibatch steps on a SharedSDP agent
+  three ways: the *seed* path (closure-graph forward/backward plus the
+  seed's allocating prologue — ``select_assets`` with full-panel
+  re-validation, O(n) ``rng.choice`` start sampling, out-of-place
+  optimizer updates), the current closure-graph reference path, and the
+  fused STBP fast path (analytic kernels on a static tape).
 
-Every fused run is checked bit-identical to the graph run (same
-portfolio weight trajectories); ``--check`` exits non-zero on any
-mismatch so CI can gate on parity.  Results are written to
-``BENCH_throughput.json`` at the repo root so future PRs have a
-perf trajectory.
+Every fused run is checked bit-identical to the graph run — portfolio
+weight trajectories for inference, *network weight trajectories and PVM
+contents after the full run* for training; ``--check`` exits non-zero on
+any mismatch so CI can gate on parity.  Results are written to
+``BENCH_throughput.json`` at the repo root so future PRs have a perf
+trajectory.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_throughput.py``
 """
@@ -32,11 +39,14 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.agents import SDPAgent
+from repro.agents import PolicyTrainer, SDPAgent, TrainConfig
 from repro.autograd import enable_grad
+from repro.autograd.optim import SGD
 from repro.data import MarketGenerator
 from repro.envs import Backtester, ObservationConfig
+from repro.envs.sampling import GeometricBatchSampler
 from repro.serving import PortfolioService, RebalanceRequest
+from repro.utils.rng import make_rng
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -48,6 +58,26 @@ AGENT_PARAMS = dict(
     decoder_pop_size=10,
     seed=0,
 )
+
+# Training bench: the experiment grid's test-scale network (quick-profile
+# sizing) on an experiment-length panel — the paper's training loop runs
+# thousands of minibatch steps over year-scale 30-minute candles, so the
+# panel must be long enough that per-step panel handling (the seed
+# re-validated and re-logged the whole panel on every permuted step)
+# shows up the way it does in the real grid.  SGD is Table 2's
+# optimizer.  The full three-path parity run stays CI-friendly.
+TRAIN_AGENT_PARAMS = dict(
+    hidden_sizes=(32, 32),
+    timesteps=5,
+    encoder_pop_size=4,
+    decoder_pop_size=4,
+    surrogate_amplifier=5.0,
+    seed=0,
+)
+TRAIN_BATCH = 32
+TRAIN_LR = 1e-5
+TRAIN_PANEL_SPAN = ("2018/01/01", "2019/01/01")
+TRAIN_PANEL_PERIOD = 1800  # 30-minute candles (Table 1) -> ~17.5k periods
 
 
 class _TimedDecide:
@@ -145,6 +175,160 @@ def bench_backtest(panels, n_assets: int) -> Dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Seed-faithful training baseline: reproduces the training loop exactly
+# as it stood before the fused STBP PR, value-for-value (bit-identical
+# weight trajectories) but with the seed's costs — so the trajectory
+# entry measures what the PR actually bought end to end.
+# ----------------------------------------------------------------------
+class _SeedSGD(SGD):
+    """SGD with the seed's out-of-place updates (fresh arrays per step)."""
+
+    def _update(self, index, param):
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            self._velocity[index] = self.momentum * self._velocity[index] + grad
+            grad = self._velocity[index]
+        param.data = param.data - self.lr * grad
+
+
+class _SeedSampler(GeometricBatchSampler):
+    """Start sampling via ``rng.choice`` (O(n) per call, same indices)."""
+
+    def sample(self):
+        start = self.first_index + self._rng.choice(
+            self._probabilities.shape[0], p=self._probabilities
+        )
+        return np.arange(start, start + self.batch_size, dtype=np.int64)
+
+
+class _SeedTrainer(PolicyTrainer):
+    """PolicyTrainer with the seed's prologue: ``select_assets`` views
+    (full-panel re-validation every permuted step), chained fancy
+    indexing, and the closure-graph step."""
+
+    def __init__(self, *args, seed: int = 0, **kwargs):
+        super().__init__(*args, seed=seed, use_fused=False, **kwargs)
+        self.sampler = _SeedSampler(
+            self.first_index,
+            self.last_index,
+            self.config.batch_size,
+            bias=self.config.geometric_bias,
+            rng=make_rng(seed),
+        )
+
+    def _prepare_batch(self):
+        indices = self.sampler.sample()
+        m = self.data.n_assets
+        if self.config.permute_assets:
+            perm = self._perm_rng.permutation(m)
+        else:
+            perm = np.arange(m)
+        action_perm = np.concatenate([[0], 1 + perm])
+        w_prev_native = self.pvm.read(indices - 1)
+        w_prev = w_prev_native[:, action_perm]
+        y_t = self._relatives[indices - 1][:, action_perm]
+        w_drifted = self._drift(w_prev, y_t)
+        y_next = self._relatives[indices][:, action_perm]
+        return indices, perm, action_perm, w_prev_native, w_prev, w_drifted, y_next
+
+    def _permuted_view(self, perm):
+        # The seed rebuilt (and re-validated, and re-logged) the whole
+        # permuted panel on every augmented minibatch.
+        return self.data.select_assets(list(perm))
+
+
+def make_training_panel(n_assets: int):
+    """Experiment-length panel: a year of 30-minute candles (Table 1)."""
+    return (
+        MarketGenerator(seed=7)
+        .generate(*TRAIN_PANEL_SPAN, TRAIN_PANEL_PERIOD)
+        .select_assets(list(range(n_assets)))
+    )
+
+
+def bench_training(panel, n_steps: int) -> Dict:
+    """Train-steps/sec for the seed, graph-reference, and fused paths.
+
+    All three runs start from identical weights and consume identical
+    RNG streams; the fused path must end with bit-identical network
+    weights and PVM contents.
+    """
+    n_assets = panel.n_assets
+    config = TrainConfig(
+        steps=n_steps, batch_size=TRAIN_BATCH, permute_assets=True
+    )
+
+    def build(trainer_cls, use_fused):
+        agent = SDPAgent(n_assets, observation=OBSERVATION, **TRAIN_AGENT_PARAMS)
+        kwargs = {} if trainer_cls is _SeedTrainer else {"use_fused": use_fused}
+        optimizer_cls = _SeedSGD if trainer_cls is _SeedTrainer else SGD
+        trainer = trainer_cls(
+            agent,
+            panel,
+            optimizer_cls(agent.parameters(), TRAIN_LR),
+            observation=OBSERVATION,
+            config=config,
+            seed=0,
+            **kwargs,
+        )
+        return agent, trainer
+
+    def run(trainer_cls, use_fused):
+        agent, trainer = build(trainer_cls, use_fused)
+        latencies: List[float] = []
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            s0 = time.perf_counter()
+            trainer.train_step()
+            latencies.append(time.perf_counter() - s0)
+        seconds = time.perf_counter() - t0
+        return agent, trainer, seconds, latencies
+
+    seed_agent, seed_tr, seed_s, seed_lat = run(_SeedTrainer, False)
+    graph_agent, graph_tr, graph_s, graph_lat = run(PolicyTrainer, False)
+    fused_agent, fused_tr, fused_s, fused_lat = run(PolicyTrainer, True)
+
+    seed_w = seed_agent.network.state_dict()
+    graph_w = graph_agent.network.state_dict()
+    fused_w = fused_agent.network.state_dict()
+    identical = (
+        all(np.array_equal(graph_w[k], fused_w[k]) for k in graph_w)
+        and all(np.array_equal(seed_w[k], fused_w[k]) for k in seed_w)
+        and np.array_equal(graph_tr.pvm.snapshot(), fused_tr.pvm.snapshot())
+        and np.array_equal(seed_tr.pvm.snapshot(), fused_tr.pvm.snapshot())
+    )
+
+    def stats(name, seconds, latencies):
+        lat = np.asarray(latencies) * 1e3
+        return {
+            "name": name,
+            "train_steps": n_steps,
+            "seconds": round(seconds, 4),
+            "steps_per_sec": round(n_steps / seconds, 1),
+            "p50_ms": round(float(np.percentile(lat, 50)), 4),
+            "p99_ms": round(float(np.percentile(lat, 99)), 4),
+        }
+
+    return {
+        "batch_size": TRAIN_BATCH,
+        "network": f"SharedSDP {TRAIN_AGENT_PARAMS['hidden_sizes']}, T=5",
+        "panel_periods": panel.n_periods,
+        "permute_assets": True,
+        "optimizer": f"SGD lr={TRAIN_LR}",
+        "paths": [
+            stats("training_seed_graph", seed_s, seed_lat),
+            stats("training_graph", graph_s, graph_lat),
+            stats("training_fused", fused_s, fused_lat),
+        ],
+        "weights_bit_identical": bool(identical),
+        "speedup_fused_vs_seed": round(seed_s / fused_s, 2),
+        "speedup_fused_vs_graph": round(graph_s / fused_s, 2),
+    }
+
+
 def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     params = {"observation": OBSERVATION, **AGENT_PARAMS}
 
@@ -212,6 +396,12 @@ def main(argv=None) -> int:
     parser.add_argument("--sessions", type=int, default=32)
     parser.add_argument("--rounds", type=int, default=50)
     parser.add_argument(
+        "--train-steps",
+        type=int,
+        default=200,
+        help="training steps per path (>= 200 for the parity gate)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero unless fused and graph paths are bit-identical",
@@ -227,6 +417,7 @@ def main(argv=None) -> int:
     panels = make_panels(args.panels, args.assets)
     backtest = bench_backtest(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
+    training = bench_training(make_training_panel(args.assets), args.train_steps)
 
     report = {
         "bench": "throughput",
@@ -239,6 +430,7 @@ def main(argv=None) -> int:
         },
         "backtest": backtest,
         "serving": serving,
+        "training": training,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -248,6 +440,11 @@ def main(argv=None) -> int:
                 f"{path['name']:32s} {path['decisions_per_sec']:>9.1f} dec/s   "
                 f"p50 {path['p50_ms']:.3f} ms   p99 {path['p99_ms']:.3f} ms"
             )
+    for path in training["paths"]:
+        print(
+            f"{path['name']:32s} {path['steps_per_sec']:>9.1f} steps/s  "
+            f"p50 {path['p50_ms']:.3f} ms   p99 {path['p99_ms']:.3f} ms"
+        )
     print(
         f"backtest speedup (fused batched vs seed graph): "
         f"{backtest['speedup_fused_batched_vs_graph']}x; "
@@ -258,10 +455,21 @@ def main(argv=None) -> int:
         f"{serving['speedup_batched_vs_one_by_one']}x; "
         f"bit-identical: {serving['weights_bit_identical']}"
     )
+    print(
+        f"training speedup (fused vs seed): "
+        f"{training['speedup_fused_vs_seed']}x "
+        f"(vs current graph path: {training['speedup_fused_vs_graph']}x); "
+        f"bit-identical weights+PVM after {args.train_steps} steps: "
+        f"{training['weights_bit_identical']}"
+    )
     print(f"wrote {args.out}")
 
     if args.check:
-        ok = backtest["weights_bit_identical"] and serving["weights_bit_identical"]
+        ok = (
+            backtest["weights_bit_identical"]
+            and serving["weights_bit_identical"]
+            and training["weights_bit_identical"]
+        )
         if not ok:
             print("PARITY MISMATCH: fused path diverged from graph path", file=sys.stderr)
             return 1

@@ -24,7 +24,11 @@ import numpy as np
 from ..autograd import Tensor
 from ..autograd.optim import Optimizer
 from ..data.market import MarketData
-from ..envs.costs import DEFAULT_COMMISSION, transaction_remainder_approx
+from ..envs.costs import (
+    DEFAULT_COMMISSION,
+    fused_training_loss,
+    transaction_remainder_approx,
+)
 from ..envs.observations import ObservationConfig
 from ..envs.pvm import PortfolioVectorMemory
 from ..envs.sampling import DEFAULT_GEOMETRIC_BIAS, GeometricBatchSampler
@@ -41,6 +45,45 @@ class TrainablePolicy(Protocol):
         ...
 
     def parameters(self):  # noqa: D102 — autograd parameter list
+        ...
+
+
+class FusedTrainablePolicy(TrainablePolicy, Protocol):
+    """A policy that additionally exposes the fused STBP training path.
+
+    Implementations set ``supports_fused_training = True`` and provide
+    the pair below; the trainer then skips the closure-graph ``Tensor``
+    machinery entirely.  The contract is strict: the fused forward must
+    be *bit-identical* to ``policy_forward(...).data`` and the fused
+    backward must accumulate parameter gradients bit-identical to
+    ``loss.backward()`` on the graph path, so both trainer paths yield
+    the same weight trajectory (``autograd.gradcheck.
+    check_fused_training_parity`` gates this).
+    """
+
+    supports_fused_training: bool
+
+    def policy_forward_fused(
+        self,
+        data: MarketData,
+        indices: np.ndarray,
+        w_prev: np.ndarray,
+        asset_perm: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Recorded batched forward; plain ``(B, N)`` action array.
+
+        With ``asset_perm`` given, ``data`` and ``w_prev`` are in the
+        panel's native asset order and the policy must return the
+        actions it would produce on ``data.permute_assets(asset_perm)``
+        with correspondingly permuted previous weights — i.e. actions in
+        the *permuted* order, cash first.  This lets the trainer's
+        permute-assets augmentation permute a ``(B, ...)`` state batch
+        instead of materialising a whole permuted panel every step.
+        """
+        ...
+
+    def policy_backward_fused(self, grad_actions: np.ndarray) -> None:
+        """Accumulate parameter grads for the last fused forward."""
         ...
 
 
@@ -90,7 +133,17 @@ class TrainHistory:
 
 
 class PolicyTrainer:
-    """Minibatch trainer shared by the SDP and EIIE agents."""
+    """Minibatch trainer shared by the SDP and EIIE agents.
+
+    Policies that expose the fused STBP fast path
+    (:class:`FusedTrainablePolicy`) are routed through it by default —
+    analytic forward/backward kernels on a static tape instead of the
+    closure-graph ``Tensor`` machinery — which is several times faster
+    per step and produces bit-identical weight trajectories.  Pass
+    ``use_fused=False`` to force the reference graph path (custom
+    :class:`TrainablePolicy` implementations without the fused pair
+    always use it).
+    """
 
     def __init__(
         self,
@@ -100,10 +153,21 @@ class PolicyTrainer:
         observation: Optional[ObservationConfig] = None,
         config: Optional[TrainConfig] = None,
         seed: int = 0,
+        use_fused: Optional[bool] = None,
     ):
         self.policy = policy
         self.data = data
         self.optimizer = optimizer
+        supports_fused = bool(getattr(policy, "supports_fused_training", False))
+        if use_fused is None:
+            use_fused = supports_fused
+        elif use_fused and not supports_fused:
+            raise ValueError(
+                "use_fused=True requires the policy to implement the fused "
+                "training path (supports_fused_training / "
+                "policy_forward_fused / policy_backward_fused)"
+            )
+        self.use_fused = use_fused
         self.observation = observation if observation is not None else ObservationConfig()
         self.config = config if config is not None else TrainConfig()
 
@@ -137,8 +201,15 @@ class PolicyTrainer:
         growth = w * y
         return growth / growth.sum(axis=1, keepdims=True)
 
-    def train_step(self) -> Dict[str, float]:
-        """One minibatch update; returns loss/reward diagnostics."""
+    def _prepare_batch(self):
+        """Shared minibatch prologue: sample, permute, read/drift the PVM.
+
+        Consumes the sampler and permutation RNG streams identically on
+        both trainer paths, so graph and fused runs see the same batches.
+        Returns weights/relatives in the *permuted* action order plus
+        the native-order PVM rows (the fused path permutes state batches
+        instead of panels).
+        """
         indices = self.sampler.sample()
         m = self.data.n_assets
         if self.config.permute_assets:
@@ -147,24 +218,43 @@ class PolicyTrainer:
             perm = np.arange(m)
         # Index 0 is cash and never permutes.
         action_perm = np.concatenate([[0], 1 + perm])
-        view = (
-            self.data.select_assets(list(perm))
-            if self.config.permute_assets
-            else self.data
-        )
 
-        w_prev = self.pvm.read(indices - 1)[:, action_perm]
+        w_prev_native = self.pvm.read(indices - 1)
+        w_prev = w_prev_native[:, action_perm]
         # Drift the cached previous weights by the already-realised move
         # y_t = close_t / close_{t-1} (row t-1 of the relatives array).
-        y_t = self._relatives[indices - 1][:, action_perm]
+        y_t = self._relatives[np.ix_(indices - 1, action_perm)]
         w_drifted = self._drift(w_prev, y_t)
+        y_next = self._relatives[np.ix_(indices, action_perm)]  # y_{t+1}
+        return indices, perm, action_perm, w_prev_native, w_prev, w_drifted, y_next
 
+    def _permuted_view(self, perm: np.ndarray) -> MarketData:
+        """Panel view for the graph path's augmentation step.
+
+        ``permute_assets`` skips the full-panel re-validation and reuses
+        the parent's cached log panels (bit-identical features).
+        """
+        return self.data.permute_assets(perm)
+
+    def train_step(self) -> Dict[str, float]:
+        """One minibatch update; returns loss/reward diagnostics."""
+        if self.use_fused:
+            return self._train_step_fused()
+        return self._train_step_graph()
+
+    def _train_step_graph(self) -> Dict[str, float]:
+        """Reference path: closure-graph forward + ``backward()``."""
+        indices, perm, action_perm, _, w_prev, w_drifted, y_next = (
+            self._prepare_batch()
+        )
+        view = (
+            self._permuted_view(perm) if self.config.permute_assets else self.data
+        )
         actions = self.policy.policy_forward(view, indices, w_prev)
-        y_next = Tensor(self._relatives[indices][:, action_perm])  # y_{t+1}
         mu = transaction_remainder_approx(
             Tensor(w_drifted), actions, self.config.commission
         )
-        growth = (actions * y_next).sum(axis=1)
+        growth = (actions * Tensor(y_next)).sum(axis=1)
         log_return = (mu * growth).log()
         loss = -log_return.mean()
 
@@ -180,6 +270,36 @@ class PolicyTrainer:
             "loss": float(loss.data),
             "reward": float(log_return.data.mean()),
         }
+
+    def _train_step_fused(self) -> Dict[str, float]:
+        """Fused fast path: analytic kernels on the policy's static tape.
+
+        Bit-identical to :meth:`_train_step_graph` — same RNG streams,
+        same actions, same gradients, same PVM write-back — without
+        building (or walking) a closure graph.  The permute-assets
+        augmentation is applied to the prepared ``(B, ...)`` state batch
+        (``asset_perm``) instead of materialising a permuted panel, and
+        the simplex re-validation is skipped on the PVM's hot write-back
+        (the actions come straight off the policy's softmax).
+        """
+        indices, perm, action_perm, w_prev_native, _, w_drifted, y_next = (
+            self._prepare_batch()
+        )
+        asset_perm = perm if self.config.permute_assets else None
+        actions = self.policy.policy_forward_fused(
+            self.data, indices, w_prev_native, asset_perm=asset_perm
+        )
+        loss, reward, grad_actions = fused_training_loss(
+            actions, w_drifted, y_next, self.config.commission
+        )
+        self.optimizer.zero_grad()
+        self.policy.policy_backward_fused(grad_actions)
+        self.optimizer.step()
+
+        unpermuted = np.empty_like(actions)
+        unpermuted[:, action_perm] = actions
+        self.pvm.write(indices, unpermuted, validate=False)
+        return {"loss": loss, "reward": reward}
 
     def train(
         self,

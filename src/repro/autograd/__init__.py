@@ -7,7 +7,11 @@ Public surface::
 """
 
 from . import functional, nn, optim
-from .gradcheck import check_gradients, numerical_gradient
+from .gradcheck import (
+    check_fused_training_parity,
+    check_gradients,
+    numerical_gradient,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -43,6 +47,7 @@ __all__ = [
     "where",
     "zeros",
     "zeros_like",
+    "check_fused_training_parity",
     "check_gradients",
     "numerical_gradient",
 ]

@@ -1,12 +1,15 @@
-"""Finite-difference gradient verification.
+"""Gradient verification: finite differences and fused-kernel parity.
 
 Used by the test suite to validate every op in the engine and the
-surrogate-gradient-free parts of the spiking stack.
+surrogate-gradient-free parts of the spiking stack, and — via
+:func:`check_fused_training_parity` — to gate the hand-derived analytic
+kernels of the fused STBP training path against the closure-graph
+reference.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 
@@ -63,3 +66,83 @@ def check_gradients(
                 f"gradient mismatch for input {i}: max abs err {worst:.3e}\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
+
+
+def check_fused_training_parity(
+    policy,
+    data,
+    indices: np.ndarray,
+    w_prev: np.ndarray,
+    w_drifted: np.ndarray,
+    y_next: np.ndarray,
+    commission: float = 0.0025,
+    atol: float = 1e-9,
+) -> Dict[str, float]:
+    """Gate the fused STBP kernels against the closure-graph reference.
+
+    Runs the trainer's objective once through ``policy_forward`` +
+    ``backward()`` and once through ``policy_forward_fused`` +
+    ``policy_backward_fused`` from the *same* parameters and inputs,
+    then asserts:
+
+    * actions are **bit-identical** between the two paths;
+    * the scalar loss is bit-identical;
+    * every parameter gradient matches within ``atol`` (the kernels are
+      written to be exactly identical; ``atol`` only bounds the check).
+
+    Returns the per-parameter max-abs gradient differences (keyed by
+    parameter index) for diagnostics.  Parameter ``.grad`` slots are
+    cleared on exit; parameter values are never touched.
+    """
+    # Lazy import: envs.costs sits above autograd in the layer stack.
+    from ..envs.costs import fused_training_loss, transaction_remainder_approx
+
+    params = list(policy.parameters())
+    for p in params:
+        p.zero_grad()
+    actions = policy.policy_forward(data, indices, w_prev)
+    mu = transaction_remainder_approx(Tensor(w_drifted), actions, commission)
+    growth = (actions * Tensor(y_next)).sum(axis=1)
+    log_return = (mu * growth).log()
+    loss = -log_return.mean()
+    loss.backward()
+    ref_loss = float(loss.data)
+    ref_grads = [None if p.grad is None else p.grad.copy() for p in params]
+
+    for p in params:
+        p.zero_grad()
+    actions_fused = policy.policy_forward_fused(data, indices, w_prev)
+    if not np.array_equal(actions_fused, actions.data):
+        worst = np.abs(actions_fused - actions.data).max()
+        raise AssertionError(
+            f"fused forward diverged from the graph path "
+            f"(max abs diff {worst:.3e})"
+        )
+    fused_loss, _, grad_actions = fused_training_loss(
+        actions_fused, w_drifted, y_next, commission
+    )
+    if fused_loss != ref_loss:
+        raise AssertionError(
+            f"fused loss {fused_loss!r} != graph loss {ref_loss!r}"
+        )
+    policy.policy_backward_fused(grad_actions)
+
+    diffs: Dict[str, float] = {}
+    try:
+        for i, (p, ref) in enumerate(zip(params, ref_grads)):
+            if ref is None or p.grad is None:
+                raise AssertionError(
+                    f"parameter {i}: gradient missing on "
+                    f"{'graph' if ref is None else 'fused'} path"
+                )
+            worst = float(np.abs(p.grad - ref).max())
+            diffs[f"param_{i}"] = worst
+            if worst > atol:
+                raise AssertionError(
+                    f"parameter {i} (shape {p.data.shape}): fused gradient "
+                    f"differs from graph path by {worst:.3e} > atol {atol:.1e}"
+                )
+    finally:
+        for p in params:
+            p.zero_grad()
+    return diffs

@@ -43,7 +43,12 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum and weight decay."""
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Updates run fully in place on preallocated state buffers — no array
+    is allocated per step — and are bit-identical to the textbook
+    out-of-place formulas (same operations, same order).
+    """
 
     def __init__(
         self,
@@ -58,19 +63,30 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def _update(self, index: int, param: Tensor) -> None:
         grad = param.grad
+        buf = self._scratch[index]
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            np.multiply(param.data, self.weight_decay, out=buf)
+            np.add(grad, buf, out=buf)
+            grad = buf
         if self.momentum:
-            self._velocity[index] = self.momentum * self._velocity[index] + grad
-            grad = self._velocity[index]
-        param.data = param.data - self.lr * grad
+            velocity = self._velocity[index]
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, grad, out=velocity)
+            grad = velocity
+        np.multiply(grad, self.lr, out=buf)
+        np.subtract(param.data, buf, out=param.data)
 
 
 class RMSProp(Optimizer):
-    """RMSProp (Tieleman & Hinton), used by the original EIIE code."""
+    """RMSProp (Tieleman & Hinton), used by the original EIIE code.
+
+    In-place on preallocated buffers; bit-identical to the out-of-place
+    formulation (every ufunc keeps its operand order).
+    """
 
     def __init__(
         self,
@@ -85,15 +101,27 @@ class RMSProp(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._square_avg = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch2 = [np.empty_like(p.data) for p in self.params]
 
     def _update(self, index: int, param: Tensor) -> None:
         grad = param.grad
+        buf, buf2 = self._scratch[index], self._scratch2[index]
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            np.multiply(param.data, self.weight_decay, out=buf2)
+            np.add(grad, buf2, out=buf2)
+            grad = buf2
         avg = self._square_avg[index]
-        avg *= self.alpha
-        avg += (1.0 - self.alpha) * grad * grad
-        param.data = param.data - self.lr * grad / (np.sqrt(avg) + self.eps)
+        np.multiply(avg, self.alpha, out=avg)
+        # ((1 − α) · g) · g, matching the reference's evaluation order.
+        np.multiply(grad, 1.0 - self.alpha, out=buf)
+        np.multiply(buf, grad, out=buf)
+        np.add(avg, buf, out=avg)
+        np.sqrt(avg, out=buf)
+        np.add(buf, self.eps, out=buf)
+        np.multiply(grad, self.lr, out=buf2)
+        np.divide(buf2, buf, out=buf2)
+        np.subtract(param.data, buf2, out=param.data)
 
 
 class Adam(Optimizer):
@@ -117,20 +145,38 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch2 = [np.empty_like(p.data) for p in self.params]
+        self._scratch3 = (
+            [np.empty_like(p.data) for p in self.params] if weight_decay else None
+        )
 
     def _update(self, index: int, param: Tensor) -> None:
+        """In-place Adam step, bit-identical to the out-of-place formulas."""
         grad = param.grad
+        buf, buf2 = self._scratch[index], self._scratch2[index]
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            decayed = self._scratch3[index]
+            np.multiply(param.data, self.weight_decay, out=decayed)
+            np.add(grad, decayed, out=decayed)
+            grad = decayed
         m = self._m[index]
         v = self._v[index]
-        m *= self.beta1
-        m += (1.0 - self.beta1) * grad
-        v *= self.beta2
-        v += (1.0 - self.beta2) * grad * grad
-        m_hat = m / (1.0 - self.beta1 ** self._step_count)
-        v_hat = v / (1.0 - self.beta2 ** self._step_count)
-        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=buf)
+        np.add(m, buf, out=m)
+        np.multiply(v, self.beta2, out=v)
+        # ((1 − β₂) · g) · g, matching the reference's evaluation order.
+        np.multiply(grad, 1.0 - self.beta2, out=buf)
+        np.multiply(buf, grad, out=buf)
+        np.add(v, buf, out=v)
+        np.divide(m, 1.0 - self.beta1 ** self._step_count, out=buf)    # m_hat
+        np.divide(v, 1.0 - self.beta2 ** self._step_count, out=buf2)   # v_hat
+        np.sqrt(buf2, out=buf2)
+        np.add(buf2, self.eps, out=buf2)
+        np.multiply(buf, self.lr, out=buf)
+        np.divide(buf, buf2, out=buf)
+        np.subtract(param.data, buf, out=param.data)
 
 
 class GradientClipper:
@@ -148,5 +194,5 @@ class GradientClipper:
         if total > self.max_norm and total > 0:
             scale = self.max_norm / total
             for p in params:
-                p.grad = p.grad * scale
+                np.multiply(p.grad, scale, out=p.grad)
         return total

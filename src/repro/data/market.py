@@ -9,6 +9,7 @@ exchange API.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
@@ -80,7 +81,14 @@ class MarketData:
             a is b for a, b in zip(cache[0], sources)
         ) and len(cache[0]) == len(sources):
             return cache[1]
-        value = build()
+        # A permuted view (permute_assets) builds its panels by
+        # permuting the parent's cached ones instead of recomputing —
+        # bit-identical (the panels are elementwise per asset) and only
+        # for the families actually consumed.
+        seed = self.__dict__.get("_perm_seeds", {}).get(key)
+        value = seed() if seed is not None else None
+        if value is None:
+            value = build()
         self.__dict__[key] = (sources, value)
         return value
 
@@ -175,6 +183,67 @@ class MarketData:
             volume=self.volume[rows][:, cols].copy(),
             period_seconds=self.period_seconds,
         )
+
+    def permute_assets(self, perm: Sequence[int]) -> "MarketData":
+        """Column-permuted panel, optimised for per-step augmentation.
+
+        Equivalent to ``select_assets(perm)`` when ``perm`` is a
+        permutation of all asset indices, but skips the full-panel
+        re-validation (a column permutation of a valid panel is valid)
+        and seeds the derived-panel caches by permuting this panel's
+        cached ones — ``ln(close)[:, perm]`` is bit-identical to
+        ``ln(close[:, perm])`` since the panels are elementwise, so the
+        whole-panel logs run once per panel instead of once per train
+        step.  The trainer's asset-permutation augmentation calls this
+        every minibatch.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        m = self.n_assets
+        if perm.shape != (m,) or not np.array_equal(
+            np.sort(perm), np.arange(m)
+        ):
+            raise ValueError(
+                f"perm must be a permutation of all {m} asset indices"
+            )
+        view = object.__new__(MarketData)
+        view.timestamps = self.timestamps
+        view.names = [self.names[i] for i in perm]
+        view.open = self.open[:, perm]
+        view.high = self.high[:, perm]
+        view.low = self.low[:, perm]
+        view.close = self.close[:, perm]
+        view.volume = self.volume[:, perm]
+        view.period_seconds = self.period_seconds
+        # Lazy cache seeds: when the view is asked for a derived panel,
+        # _cached_panel builds it by permuting this (parent) panel's —
+        # warming the parent once, then one asset-axis gather per view
+        # for exactly the families the consumer reads.  The parent is
+        # held weakly so a long-lived view does not pin it; if the
+        # parent is gone the view simply computes its own panels.
+        parent_ref = weakref.ref(self)
+
+        def _seed(getter, take):
+            def build_from_parent():
+                parent = parent_ref()
+                return None if parent is None else take(getter(parent))
+
+            return build_from_parent
+
+        view.__dict__["_perm_seeds"] = {
+            "_log_close_cache": _seed(
+                MarketData.log_close_panel, lambda p: p[:, perm]
+            ),
+            "_log_candle_cache": _seed(
+                MarketData.log_candle_panel, lambda p: p[:, perm, :]
+            ),
+            "_feature_panel_cache_True": _seed(
+                lambda d: d.feature_panel(True), lambda p: p[:, :, perm]
+            ),
+            "_feature_panel_cache_False": _seed(
+                lambda d: d.feature_panel(False), lambda p: p[:, :, perm]
+            ),
+        }
+        return view
 
     # ------------------------------------------------------------------
     def price_relatives(self, include_cash: bool = False) -> np.ndarray:

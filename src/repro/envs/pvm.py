@@ -29,15 +29,33 @@ class PortfolioVectorMemory:
             (n_periods, n_assets + 1), 1.0 / (n_assets + 1), dtype=np.float64
         )
 
+    def _check_range(self, idx: np.ndarray, what: str) -> None:
+        # One (min, max) pair instead of two full-array comparisons —
+        # this sits on the trainer's per-step hot path.
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self.n_periods):
+            raise IndexError(f"PVM {what} out of range")
+
     def read(self, indices: Sequence[int]) -> np.ndarray:
         """Weights at ``indices``; shape (len(indices), n_assets + 1)."""
         idx = np.asarray(indices, dtype=np.int64)
-        if np.any(idx < 0) or np.any(idx >= self.n_periods):
-            raise IndexError("PVM read out of range")
-        return self._memory[idx].copy()
+        self._check_range(idx, "read")
+        rows = self._memory[idx]
+        # Fancy indexing already copies; only a scalar index yields a view.
+        return rows.copy() if rows.base is not None else rows
 
-    def write(self, indices: Sequence[int], weights: np.ndarray) -> None:
-        """Store ``weights`` (rows on the simplex) at ``indices``."""
+    def write(
+        self,
+        indices: Sequence[int],
+        weights: np.ndarray,
+        validate: bool = True,
+    ) -> None:
+        """Store ``weights`` (rows on the simplex) at ``indices``.
+
+        ``validate=False`` skips the simplex re-validation (sum-to-one,
+        non-negativity); the trainer's hot write-back path uses it since
+        its rows come straight off a softmax.  Shape and index-range
+        checks always run.
+        """
         idx = np.asarray(indices, dtype=np.int64)
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != (idx.shape[0], self.n_assets + 1):
@@ -45,11 +63,11 @@ class PortfolioVectorMemory:
                 f"expected weights of shape ({idx.shape[0]}, "
                 f"{self.n_assets + 1}), got {weights.shape}"
             )
-        if np.any(idx < 0) or np.any(idx >= self.n_periods):
-            raise IndexError("PVM write out of range")
-        sums = weights.sum(axis=1)
-        if np.any(np.abs(sums - 1.0) > 1e-6) or np.any(weights < -1e-9):
-            raise ValueError("PVM rows must lie on the probability simplex")
+        self._check_range(idx, "write")
+        if validate:
+            sums = weights.sum(axis=1)
+            if np.any(np.abs(sums - 1.0) > 1e-6) or np.any(weights < -1e-9):
+                raise ValueError("PVM rows must lie on the probability simplex")
         self._memory[idx] = weights
 
     def snapshot(self) -> np.ndarray:

@@ -62,11 +62,19 @@ class GeometricBatchSampler:
         exponents = np.arange(n_starts - 1, -1, -1, dtype=np.float64)
         weights = (1.0 - self.bias) ** exponents
         self._probabilities = weights / weights.sum()
+        # Precomputed inverse CDF.  ``Generator.choice(n, p=...)`` builds
+        # this cumsum, renormalises, and searchsorts one uniform draw on
+        # *every* call (plus an O(n) validation of p); doing it once here
+        # keeps the sampled index stream bit-identical — same uniforms
+        # consumed, same searchsorted — at O(log n) per sample.
+        cdf = self._probabilities.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
 
     def sample(self) -> np.ndarray:
         """One minibatch of consecutive decision indices."""
-        start = self.first_index + self._rng.choice(
-            self._probabilities.shape[0], p=self._probabilities
+        start = self.first_index + int(
+            self._cdf.searchsorted(self._rng.random(), side="right")
         )
         return np.arange(start, start + self.batch_size, dtype=np.int64)
 

@@ -6,22 +6,27 @@ firing-rate population decoder (eqs. (8)–(10)), the rectangular
 surrogate gradient (eq. (11)), and the full SDP network (Algorithm 1).
 """
 
-from .decoding import PopulationDecoder
+from .decoding import DecoderTape, PopulationDecoder
 from .encoding import EncoderConfig, PopulationEncoder
-from .layers import SpikingLinear, SpikingStack
+from .layers import SpikingLinear, SpikingLinearTape, SpikingStack
 from .network import (
     ActivityRecord,
     SDPConfig,
     SDPNetwork,
+    SDPTrainTape,
     SharedSDPConfig,
     SharedSDPNetwork,
+    SharedTrainTape,
 )
 from .neurons import (
     LIFInferenceState,
     LIFParameters,
     LIFState,
+    LIFTrainTape,
+    lif_backward_step,
     lif_step,
     lif_step_inference,
+    lif_step_train,
     spike_function,
 )
 from .surrogate import (
@@ -35,24 +40,31 @@ from .surrogate import (
 
 __all__ = [
     "ActivityRecord",
+    "DecoderTape",
     "EncoderConfig",
     "LIFInferenceState",
     "LIFParameters",
     "LIFState",
+    "LIFTrainTape",
     "PopulationDecoder",
     "PopulationEncoder",
     "SDPConfig",
     "SDPNetwork",
+    "SDPTrainTape",
     "SharedSDPConfig",
     "SharedSDPNetwork",
+    "SharedTrainTape",
     "SpikingLinear",
+    "SpikingLinearTape",
     "SpikingStack",
     "SurrogateGradient",
     "arctan",
     "fast_sigmoid",
     "get_surrogate",
+    "lif_backward_step",
     "lif_step",
     "lif_step_inference",
+    "lif_step_train",
     "rectangular",
     "spike_function",
     "triangular",

@@ -26,6 +26,34 @@ DEFAULT_POP_SIZE = 10
 DEFAULT_EPSILON = 1e-3
 
 
+@dataclass
+class EncoderBuffers:
+    """Preallocated scratch for :meth:`PopulationEncoder.encode_buffered`.
+
+    One set per (batch, timesteps); the fused training path reuses it
+    across train steps so encoding allocates nothing per step.
+    """
+
+    stim: np.ndarray      # (batch, state_dim, pop_size) receptive-field scratch
+    scaled: np.ndarray    # (batch, state_dim, pop_size) activation scratch
+    voltage: np.ndarray   # (batch, num_neurons) accumulator
+    fired: np.ndarray     # (batch, num_neurons) bool threshold mask
+    spikes: np.ndarray    # (timesteps, batch, num_neurons) output train
+
+    @classmethod
+    def zeros(
+        cls, batch: int, state_dim: int, pop_size: int, timesteps: int
+    ) -> "EncoderBuffers":
+        neurons = state_dim * pop_size
+        return cls(
+            stim=np.empty((batch, state_dim, pop_size)),
+            scaled=np.empty((batch, state_dim, pop_size)),
+            voltage=np.empty((batch, neurons)),
+            fired=np.empty((batch, neurons), dtype=bool),
+            spikes=np.empty((timesteps, batch, neurons)),
+        )
+
+
 @dataclass(frozen=True)
 class EncoderConfig:
     """Configuration of the Gaussian population encoder.
@@ -152,6 +180,53 @@ class PopulationEncoder:
             fired = voltage > threshold
             spikes[t] = fired
             # eq. (4): soft reset — subtract the threshold where fired.
+            np.subtract(voltage, threshold, out=voltage, where=fired)
+        return spikes
+
+    def make_buffers(self, batch: int, timesteps: int) -> EncoderBuffers:
+        """Preallocated scratch for :meth:`encode_buffered`."""
+        return EncoderBuffers.zeros(
+            batch, self.config.state_dim, self.config.pop_size, timesteps
+        )
+
+    def encode_buffered(
+        self, states: np.ndarray, timesteps: int, buffers: EncoderBuffers
+    ) -> np.ndarray:
+        """Allocation-free :meth:`encode`, bit-identical spike trains.
+
+        Deterministic mode runs the stimulation chain (eq. (2)) and the
+        soft-reset accumulator loop (eqs. (3)-(4)) entirely on
+        ``buffers``; the probabilistic mode falls back to :meth:`encode`
+        (its Bernoulli draws must consume the RNG stream identically).
+        Returns ``buffers.spikes`` — valid until the next call.
+        """
+        if self.config.mode != "deterministic":
+            return self.encode(states, timesteps)
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim == 1:
+            states = states[None, :]
+        if states.shape[1] != self.config.state_dim:
+            raise ValueError(
+                f"expected state_dim={self.config.state_dim}, "
+                f"got states of shape {states.shape}"
+            )
+        # Stimulation A_E (eq. (2)): same ops as stimulation(), buffered.
+        np.subtract(states[:, :, None], self.means[None, None, :], out=buffers.stim)
+        np.divide(buffers.stim, self.sigma, out=buffers.stim)          # z
+        np.multiply(buffers.stim, -0.5, out=buffers.scaled)
+        np.multiply(buffers.scaled, buffers.stim, out=buffers.scaled)  # −z²/2
+        np.exp(buffers.scaled, out=buffers.scaled)
+        drive = buffers.scaled.reshape(states.shape[0], -1)
+        # Soft-reset accumulators (eqs. (3)-(4)), in place.
+        threshold = 1.0 - self.config.epsilon
+        voltage, fired, spikes = buffers.voltage, buffers.fired, buffers.spikes
+        voltage.fill(0.0)
+        for t in range(timesteps):
+            np.add(voltage, drive, out=voltage)
+            np.greater(voltage, threshold, out=fired)
+            spikes[t] = fired
             np.subtract(voltage, threshold, out=voltage, where=fired)
         return spikes
 

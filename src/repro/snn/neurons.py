@@ -175,6 +175,149 @@ def lif_step_inference(
     return o
 
 
+@dataclass
+class LIFTrainTape:
+    """Compact static tape of one ``T``-step LIF unroll for training.
+
+    The fused STBP fast path records, per timestep, only what the
+    analytic backward needs — the membrane voltage (for the surrogate
+    window and the reset-gate gradient) and the emitted spikes (for the
+    ``1 − o`` gate and as the next layer's input).  Slice ``0`` of the
+    ``voltage``/``spikes`` arrays holds the zero initial state and is
+    never written, so :func:`lif_backward_step` can treat ``t − 1``
+    uniformly.
+
+    All buffers are preallocated once and reused across train steps:
+    neither the forward unroll (:func:`lif_step_train`) nor the backward
+    replay (:func:`lif_backward_step`) allocates.
+    """
+
+    voltage: np.ndarray    # (T+1, batch, n) recorded v(t); index 0 = initial 0
+    spikes: np.ndarray     # (T+1, batch, n) recorded o(t); index 0 = initial 0
+    current: np.ndarray    # (batch, n) running synaptic current c(t)
+    drive: np.ndarray      # (batch, n) scratch for the weighted input I(t)
+    scratch: np.ndarray    # (batch, n) transient terms (gate, surrogate, ...)
+    g_voltage: np.ndarray  # (batch, n) carry: dL/dv flowing back from t+1
+    g_current: np.ndarray  # (batch, n) carry: dL/dc (doubles as dL/dI(t))
+    g_gate: np.ndarray     # (batch, n) carry: dL/do(t) from the t+1 reset gate
+    g_spikes: np.ndarray   # (batch, n) scratch: total dL/do(t)
+    timesteps: int
+
+    @classmethod
+    def zeros(cls, timesteps: int, shape: Tuple[int, ...]) -> "LIFTrainTape":
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        return cls(
+            voltage=np.zeros((timesteps + 1,) + shape),
+            spikes=np.zeros((timesteps + 1,) + shape),
+            current=np.zeros(shape),
+            drive=np.empty(shape),
+            scratch=np.empty(shape),
+            g_voltage=np.empty(shape),
+            g_current=np.empty(shape),
+            g_gate=np.empty(shape),
+            g_spikes=np.empty(shape),
+            timesteps=timesteps,
+        )
+
+    def begin(self) -> None:
+        """Reset the running state ahead of a fresh unroll (slices 0 of
+        the recorded arrays stay zero by construction)."""
+        self.current.fill(0.0)
+
+
+def lif_step_train(
+    synaptic_input: np.ndarray,
+    tape: LIFTrainTape,
+    params: LIFParameters,
+    t: int,
+) -> np.ndarray:
+    """Fused LIF forward step ``t`` (1-based) that records onto ``tape``.
+
+    Performs the exact elementwise operations of :func:`lif_step`, in
+    the same order, writing ``v(t)``/``o(t)`` into the tape's
+    per-timestep slices — so the unroll is bit-identical to the
+    closure-graph path while allocating nothing.
+
+    Returns ``tape.spikes[t]`` (valid until the tape is reused).
+    """
+    c = tape.current
+    # c(t) = dc · c(t−1) + I(t)
+    np.multiply(c, params.current_decay, out=c)
+    np.add(c, synaptic_input, out=c)
+    # v(t) = dv · v(t−1) · (1 − o(t−1)) + c(t)
+    v = tape.voltage[t]
+    np.multiply(tape.voltage[t - 1], params.voltage_decay, out=v)
+    np.subtract(1.0, tape.spikes[t - 1], out=tape.scratch)
+    np.multiply(v, tape.scratch, out=v)
+    np.add(v, c, out=v)
+    # o(t) = 1[v(t) > V_th]
+    o = tape.spikes[t]
+    np.greater(v, params.v_threshold, out=o, casting="unsafe")
+    return o
+
+
+def lif_backward_step(
+    grad_spikes: np.ndarray,
+    tape: LIFTrainTape,
+    params: LIFParameters,
+    surrogate: SurrogateGradient,
+    t: int,
+) -> np.ndarray:
+    """Analytic BPTT backward through LIF step ``t`` (call t = T..1).
+
+    ``grad_spikes`` is the downstream gradient into ``o(t)`` (from the
+    next layer's synapses and/or the rate readout); the tape's
+    ``g_voltage``/``g_current``/``g_gate`` buffers carry the recurrent
+    terms from step ``t + 1``:
+
+    .. math::
+
+        \\partial v(t{+}1)/\\partial v(t) &= d_v (1 - o(t)) \\\\
+        \\partial v(t{+}1)/\\partial o(t) &= -d_v\\, v(t) \\\\
+        \\partial c(t{+}1)/\\partial c(t) &= d_c
+
+    with the spike surrogate ``do/dv = z(v)`` closing the loop.  Every
+    operation mirrors an op of the closure-graph backward (same inputs,
+    same order), so the returned ``dL/dI(t)`` — ``tape.g_current``,
+    valid until the next call — is bit-identical to the graph path.
+    ``grad_spikes`` is never mutated.
+    """
+    last = t == tape.timesteps
+    v = tape.voltage[t]
+    # Total dL/do(t): reset-gate carry (arrives first in the graph's
+    # reverse-topological order) plus the downstream gradient.
+    if last:
+        g_o = grad_spikes
+    else:
+        np.add(tape.g_gate, grad_spikes, out=tape.g_spikes)
+        g_o = tape.g_spikes
+    # Spike op: dL/dv(t) += g_o · z(v(t))  (surrogate, eq. (11)).
+    surrogate.into(v, params.v_threshold, out=tape.scratch)
+    if last:
+        np.multiply(g_o, tape.scratch, out=tape.g_voltage)
+    else:
+        np.multiply(g_o, tape.scratch, out=tape.scratch)
+        np.add(tape.g_voltage, tape.scratch, out=tape.g_voltage)
+    # v(t) = ... + c(t) is an identity edge into c(t); add the c(t+1)
+    # decay carry (graph order: carry first, then the voltage term).
+    if last:
+        np.copyto(tape.g_current, tape.g_voltage)
+    else:
+        np.multiply(tape.g_current, params.current_decay, out=tape.g_current)
+        np.add(tape.g_current, tape.g_voltage, out=tape.g_current)
+    # Carries for step t−1 through the reset gate
+    # v(t) = dv · v(t−1) · (1 − o(t−1)) + c(t).
+    if t > 1:
+        np.multiply(tape.voltage[t - 1], params.voltage_decay, out=tape.scratch)
+        np.multiply(tape.g_voltage, tape.scratch, out=tape.g_gate)
+        np.negative(tape.g_gate, out=tape.g_gate)
+        np.subtract(1.0, tape.spikes[t - 1], out=tape.scratch)
+        np.multiply(tape.g_voltage, tape.scratch, out=tape.g_voltage)
+        np.multiply(tape.g_voltage, params.voltage_decay, out=tape.g_voltage)
+    return tape.g_current
+
+
 def integrate_and_fire_rate(
     stimulation: np.ndarray,
     timesteps: int,

@@ -15,7 +15,7 @@ the encoding/ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -29,14 +29,25 @@ class SurrogateGradient:
     """A named surrogate gradient ``z(v)`` evaluated at membrane voltage.
 
     ``fn(v, v_th)`` returns the pseudo-derivative of the Heaviside spike
-    with respect to ``v``.
+    with respect to ``v``.  ``fn_into``, when provided, evaluates the
+    same function into a caller-supplied buffer without allocating — the
+    fused STBP backward kernels use it on their preallocated scratch.
+    Both evaluations must be bit-identical.
     """
 
     name: str
     fn: Callable[[np.ndarray, float], np.ndarray]
+    fn_into: Optional[Callable[[np.ndarray, float, np.ndarray], np.ndarray]] = None
 
     def __call__(self, v: np.ndarray, v_th: float) -> np.ndarray:
         return self.fn(v, v_th)
+
+    def into(self, v: np.ndarray, v_th: float, out: np.ndarray) -> np.ndarray:
+        """Evaluate ``z(v)`` into ``out`` (allocation-free when supported)."""
+        if self.fn_into is not None:
+            return self.fn_into(v, v_th, out)
+        out[...] = self.fn(v, v_th)
+        return out
 
 
 def rectangular(
@@ -51,7 +62,17 @@ def rectangular(
     def fn(v: np.ndarray, v_th: float) -> np.ndarray:
         return amplifier * (np.abs(v - v_th) < window)
 
-    return SurrogateGradient("rectangular", fn)
+    def fn_into(v: np.ndarray, v_th: float, out: np.ndarray) -> np.ndarray:
+        # amplifier * (|v − v_th| < window), built in place.  The unsafe
+        # cast writes the comparison result as 0.0/1.0, and multiplying
+        # by the amplifier reproduces ``amplifier * bool`` bit-exactly.
+        np.subtract(v, v_th, out=out)
+        np.abs(out, out=out)
+        np.less(out, window, out=out, casting="unsafe")
+        np.multiply(out, amplifier, out=out)
+        return out
+
+    return SurrogateGradient("rectangular", fn, fn_into)
 
 
 def triangular(scale: float = 1.0, width: float = 1.0) -> SurrogateGradient:
