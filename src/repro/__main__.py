@@ -1,0 +1,296 @@
+"""``python -m repro`` — the repo's command-line front door.
+
+Thin argparse over the experiment engine and the existing entry points:
+
+* ``run``          — one Table 3 experiment end to end (+ tables)
+* ``sweep``        — a seeds × strategies × windows × costs grid on the
+  sharded engine, with checkpoint/resume into an artifact store
+* ``walkforward``  — rolling train/test evaluation with per-fold and
+  per-regime aggregate tables
+* ``bench``        — delegate to a benchmark script (default:
+  ``benchmarks/bench_throughput.py``)
+* ``serve``        — the HTTP portfolio service (demo market, a saved
+  service checkpoint, or a strategy out of a sweep artifact store)
+
+Every subcommand is deliberately a few lines of wiring — the behaviour
+lives in the library so tests (and users) can drive it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+
+def _add_overrides(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="standard", help="config profile (paper/standard/quick)"
+    )
+    parser.add_argument(
+        "--train-steps", type=int, default=None, help="override profile train steps"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="override profile batch size"
+    )
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    out = {}
+    if args.train_steps is not None:
+        out["train_steps"] = args.train_steps
+    if getattr(args, "batch_size", None) is not None:
+        out["batch_size"] = args.batch_size
+    return out
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ArtifactStore,
+        make_config,
+        render_table3,
+        render_table4,
+        run_experiment,
+        run_power_comparison,
+        summarize_shape_check,
+    )
+
+    config = make_config(args.experiment, args.profile, **_overrides(args))
+    result = run_experiment(config, include_baselines=not args.no_baselines)
+    print(render_table3(result))
+    for line in summarize_shape_check(result):
+        print(line)
+    if args.power:
+        print(render_table4(run_power_comparison(result)))
+    if args.store is not None:
+        store = ArtifactStore(args.store)
+        key = args.key or config.label
+        directory = store.save_experiment(key, result)
+        print(f"saved experiment to {directory}")
+    return 0
+
+
+def _parse_costs(specs: Sequence[str]) -> Tuple:
+    from .experiments import CostRegime, DEFAULT_COST_REGIMES
+
+    if not specs:
+        return DEFAULT_COST_REGIMES
+    regimes = []
+    for item in specs:
+        if "=" not in item:
+            raise SystemExit(
+                f"--costs entries look like name=rate (got {item!r})"
+            )
+        name, rate = item.split("=", 1)
+        regimes.append(CostRegime(name, float(rate)))
+    return tuple(regimes)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentSpec, SweepRunner, render_sweep_table
+
+    spec = ExperimentSpec(
+        name=args.name,
+        profile=args.profile,
+        experiments=tuple(args.experiments),
+        strategies=tuple(args.strategies),
+        seeds=tuple(args.seeds),
+        cost_regimes=_parse_costs(args.costs),
+        overrides=tuple(_overrides(args).items()),
+    )
+    runner = SweepRunner(spec, args.store, max_workers=args.workers)
+    result = runner.run(
+        parallel=not args.serial,
+        max_shards=args.max_shards,
+        progress=lambda shard_id, status: print(f"[{status:>7}] {shard_id}"),
+    )
+    print(
+        f"sweep {spec.name!r}: {len(result.ran)} ran, "
+        f"{len(result.skipped)} skipped, {len(result.pending)} pending"
+    )
+    if result.outcomes:
+        print(render_sweep_table(result))
+    return 0 if result.complete else 3
+
+
+def _cmd_walkforward(args: argparse.Namespace) -> int:
+    from .data import MarketGenerator, top_volume_assets, walk_forward_windows
+    from .experiments import (
+        WalkForwardEvaluator,
+        make_config,
+        render_regime_table,
+        render_walkforward_table,
+    )
+
+    config = make_config(args.experiment, args.profile, **_overrides(args))
+    start = args.start or config.window.train_start
+    end = args.end or config.window.test_end
+    folds = walk_forward_windows(
+        start, end, args.train_days, args.test_days, args.step_days,
+        anchored=args.anchored,
+    )
+    generator = MarketGenerator(seed=config.market_seed)
+    full = generator.generate(start, end, config.period_seconds)
+    # Universe as of the first hold-out start — no look-ahead into any
+    # fold's test span.
+    assets = top_volume_assets(full, folds[0].test_start, k=config.num_assets)
+    panel = full.select_assets(assets)
+    evaluator = WalkForwardEvaluator(
+        panel,
+        folds,
+        config,
+        strategies=tuple(args.strategies),
+        seeds=tuple(args.seeds),
+        fine_tune_steps=args.fine_tune_steps,
+    )
+    report = evaluator.run()
+    print(render_walkforward_table(report))
+    print()
+    print(render_regime_table(report))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    script = Path(args.script)
+    if not script.exists():
+        raise SystemExit(
+            f"benchmark script {script} not found — run from the repo root "
+            "or pass --script"
+        )
+    argv = [str(script)] + list(args.bench_args)
+    old = sys.argv
+    sys.argv = argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    finally:
+        sys.argv = old
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .data import MarketGenerator, top_volume_assets
+    from .experiments import make_config
+    from .serving import PortfolioService
+    from .serving.http import serve
+
+    if args.checkpoint is not None:
+        service = PortfolioService.load_checkpoint(args.checkpoint)
+    else:
+        service = PortfolioService()
+        config = make_config(1, args.profile)
+        generator = MarketGenerator(seed=config.market_seed)
+        panel = generator.generate(
+            config.window.train_start, config.window.test_end,
+            config.period_seconds,
+        )
+        assets = top_volume_assets(
+            panel, config.window.test_start, k=config.num_assets
+        )
+        service.register_market("default", panel.select_assets(assets))
+        if args.artifact_store is not None and args.shard is not None:
+            service.create_session_from_artifact(
+                "artifact", args.artifact_store, args.shard, market="default"
+            )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="one Table 3 experiment end to end")
+    p_run.add_argument("--experiment", type=int, default=1, choices=(1, 2, 3))
+    _add_overrides(p_run)
+    p_run.add_argument("--no-baselines", action="store_true")
+    p_run.add_argument("--power", action="store_true", help="also print Table 4")
+    p_run.add_argument("--store", default=None, help="artifact store root to save into")
+    p_run.add_argument("--key", default=None, help="experiment key in the store")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sharded multi-seed sweep")
+    p_sweep.add_argument("--store", required=True, help="artifact store root")
+    p_sweep.add_argument("--name", default="sweep")
+    _add_overrides(p_sweep)
+    p_sweep.add_argument("--experiments", type=int, nargs="+", default=[1])
+    p_sweep.add_argument("--strategies", nargs="+", default=["sdp", "jiang"])
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[7])
+    p_sweep.add_argument(
+        "--costs", nargs="+", default=[],
+        help="cost regimes as name=rate (default: paper=0.0025)",
+    )
+    p_sweep.add_argument("--workers", type=int, default=None)
+    p_sweep.add_argument("--serial", action="store_true", help="no process pool")
+    p_sweep.add_argument(
+        "--max-shards", type=int, default=None,
+        help="run at most N pending shards (resume later)",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_wf = sub.add_parser("walkforward", help="rolling-window evaluation")
+    p_wf.add_argument("--experiment", type=int, default=1, choices=(1, 2, 3))
+    _add_overrides(p_wf)
+    p_wf.add_argument("--start", default=None, help="span start (default: window)")
+    p_wf.add_argument("--end", default=None, help="span end (default: window)")
+    p_wf.add_argument("--train-days", type=int, default=365)
+    p_wf.add_argument("--test-days", type=int, default=90)
+    p_wf.add_argument("--step-days", type=int, default=0)
+    p_wf.add_argument("--anchored", action="store_true")
+    p_wf.add_argument("--strategies", nargs="+", default=["sdp", "jiang", "ucrp"])
+    p_wf.add_argument("--seeds", type=int, nargs="+", default=[7])
+    p_wf.add_argument("--fine-tune-steps", type=int, default=0)
+    p_wf.set_defaults(func=_cmd_walkforward)
+
+    p_bench = sub.add_parser("bench", help="run a benchmark script")
+    p_bench.add_argument(
+        "--script", default="benchmarks/bench_throughput.py",
+        help="path to the benchmark script",
+    )
+    # Everything else passes through to the script (parse_known_args).
+    p_bench.set_defaults(func=_cmd_bench, bench_args=[])
+
+    p_serve = sub.add_parser("serve", help="HTTP portfolio service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000)
+    p_serve.add_argument("--profile", default="standard")
+    p_serve.add_argument(
+        "--checkpoint", default=None, help="service checkpoint directory"
+    )
+    p_serve.add_argument(
+        "--artifact-store", default=None,
+        help="sweep artifact store to load a strategy from",
+    )
+    p_serve.add_argument("--shard", default=None, help="shard id in the store")
+    p_serve.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args, unknown = parser.parse_known_args(argv)
+    if args.command == "bench":
+        args.bench_args = list(unknown)
+    elif unknown:
+        parser.error(f"unrecognized arguments: {' '.join(unknown)}")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

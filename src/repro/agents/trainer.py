@@ -17,7 +17,7 @@ return-to-go estimation.  Minibatch mechanics follow Jiang et al.:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Any, Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
@@ -195,6 +195,8 @@ class PolicyTrainer:
         rel = data.close[1:] / data.close[:-1]
         self._relatives = np.concatenate([np.ones((n - 1, 1)), rel], axis=1)
         self._perm_rng = make_rng(seed + 1)
+        #: Total train steps this trainer has executed (resume cursor).
+        self.completed_steps = 0
 
     # ------------------------------------------------------------------
     def _drift(self, w: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -238,9 +240,11 @@ class PolicyTrainer:
 
     def train_step(self) -> Dict[str, float]:
         """One minibatch update; returns loss/reward diagnostics."""
-        if self.use_fused:
-            return self._train_step_fused()
-        return self._train_step_graph()
+        stats = (
+            self._train_step_fused() if self.use_fused else self._train_step_graph()
+        )
+        self.completed_steps += 1
+        return stats
 
     def _train_step_graph(self) -> Dict[str, float]:
         """Reference path: closure-graph forward + ``backward()``."""
@@ -306,13 +310,49 @@ class PolicyTrainer:
         steps: Optional[int] = None,
         callback: Optional[Callable[[int, Dict[str, float]], None]] = None,
     ) -> TrainHistory:
-        """Run the full loop; returns the loss/reward history."""
+        """Run ``steps`` more updates; returns the loss/reward history.
+
+        Step numbering continues from :attr:`completed_steps`, so a
+        resumed trainer (fresh instance + :meth:`load_state_dict`, or
+        the same instance trained in instalments) logs a history that
+        lines up with the uninterrupted run.
+        """
         steps = steps if steps is not None else self.config.steps
         history = TrainHistory()
-        for step in range(1, steps + 1):
+        first = self.completed_steps + 1
+        last = self.completed_steps + steps
+        for step in range(first, last + 1):
             stats = self.train_step()
-            if step % self.config.log_every == 0 or step == steps:
+            if step % self.config.log_every == 0 or step == last:
                 history.record(step, stats["loss"], stats["reward"])
             if callback is not None:
                 callback(step, stats)
         return history
+
+    # -- resumable training state --------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything mutable the loop owns: step cursor, PVM, both RNG
+        streams, and the optimiser moments.
+
+        The policy's *parameters* are deliberately not included — they
+        belong to the network (``network.state_dict()``), so a full
+        training checkpoint is ``(network state, trainer state)``.
+        Restoring both into a freshly-constructed trainer continues the
+        exact update sequence: same minibatches, same permutations, same
+        gradients.
+        """
+        return {
+            "completed_steps": self.completed_steps,
+            "pvm": self.pvm.snapshot(),
+            "sampler_rng": self.sampler._rng.bit_generator.state,
+            "perm_rng": self._perm_rng.bit_generator.state,
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into this trainer."""
+        self.completed_steps = int(state["completed_steps"])
+        self.pvm.restore(state["pvm"])
+        self.sampler._rng.bit_generator.state = state["sampler_rng"]
+        self._perm_rng.bit_generator.state = state["perm_rng"]
+        self.optimizer.load_state_dict(state["optimizer"])

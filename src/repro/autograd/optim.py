@@ -8,7 +8,7 @@ momentum for ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +17,12 @@ from .tensor import Tensor
 
 class Optimizer:
     """Base optimiser: holds parameters, applies per-step updates."""
+
+    #: Names of per-parameter state-buffer lists a subclass carries
+    #: (moments, running averages) — what :meth:`state_dict` persists.
+    #: Scratch buffers are deliberately excluded: their contents never
+    #: survive a step.
+    _state_buffer_names: Tuple[str, ...] = ()
 
     def __init__(self, params: Iterable[Tensor], lr: float):
         self.params: List[Tensor] = list(params)
@@ -41,6 +47,36 @@ class Optimizer:
     def _update(self, index: int, param: Tensor) -> None:
         raise NotImplementedError
 
+    # -- resumable state ------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the optimiser's mutable state (step counter plus
+        per-parameter moment buffers).  Loading it into a same-shaped
+        optimiser resumes the exact update sequence."""
+        state: Dict[str, Any] = {"step_count": self._step_count}
+        for name in self._state_buffer_names:
+            state[name] = [buf.copy() for buf in getattr(self, name)]
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (in-place on the buffers)."""
+        self._step_count = int(state["step_count"])
+        for name in self._state_buffer_names:
+            buffers = getattr(self, name)
+            saved = state[name]
+            if len(saved) != len(buffers):
+                raise ValueError(
+                    f"state {name!r} has {len(saved)} buffers for "
+                    f"{len(buffers)} parameters"
+                )
+            for buf, value in zip(buffers, saved):
+                value = np.asarray(value)
+                if value.shape != buf.shape:
+                    raise ValueError(
+                        f"state {name!r} buffer shape {value.shape} does not "
+                        f"match parameter shape {buf.shape}"
+                    )
+                np.copyto(buf, value)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay.
@@ -49,6 +85,8 @@ class SGD(Optimizer):
     is allocated per step — and are bit-identical to the textbook
     out-of-place formulas (same operations, same order).
     """
+
+    _state_buffer_names = ("_velocity",)
 
     def __init__(
         self,
@@ -88,6 +126,8 @@ class RMSProp(Optimizer):
     formulation (every ufunc keeps its operand order).
     """
 
+    _state_buffer_names = ("_square_avg",)
+
     def __init__(
         self,
         params: Iterable[Tensor],
@@ -126,6 +166,8 @@ class RMSProp(Optimizer):
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba) with bias correction."""
+
+    _state_buffer_names = ("_m", "_v")
 
     def __init__(
         self,

@@ -11,7 +11,7 @@ from .generator import (
     MarketGenerator,
     default_universe,
 )
-from .market import MarketData
+from .market import MarketData, market_from_state, market_to_state
 from .poloniex import PoloniexError, PoloniexSimulator, VALID_PERIODS
 from .regimes import (
     Regime,
@@ -26,7 +26,12 @@ from .selection import (
     select_universe,
     top_volume_assets,
 )
-from .splits import TABLE1_WINDOWS, ExperimentWindow, get_window
+from .splits import (
+    TABLE1_WINDOWS,
+    ExperimentWindow,
+    get_window,
+    walk_forward_windows,
+)
 
 __all__ = [
     "CoinSpec",
@@ -46,7 +51,10 @@ __all__ = [
     "default_universe",
     "format_date",
     "get_window",
+    "market_from_state",
+    "market_to_state",
     "parse_date",
     "select_universe",
     "top_volume_assets",
+    "walk_forward_windows",
 ]

@@ -312,3 +312,36 @@ class MarketData:
             f"MarketData({self.n_assets} assets × {self.n_periods} periods, "
             f"{self.period_seconds}s candles, {span})"
         )
+
+
+# ----------------------------------------------------------------------
+# npz-friendly (de)serialisation — the single representation used by
+# serving checkpoints and the experiment artifact store.
+
+
+def market_to_state(data: MarketData) -> dict:
+    """Flatten a panel into an npz-compatible dict of arrays."""
+    return {
+        "timestamps": data.timestamps,
+        "open": data.open,
+        "high": data.high,
+        "low": data.low,
+        "close": data.close,
+        "volume": data.volume,
+        "period_seconds": np.array(data.period_seconds, dtype=np.int64),
+        "names": np.array([str(n) for n in data.names]),
+    }
+
+
+def market_from_state(state: dict) -> MarketData:
+    """Rebuild a panel from :func:`market_to_state` output."""
+    return MarketData(
+        timestamps=state["timestamps"],
+        names=[str(n) for n in state["names"]],
+        open=state["open"],
+        high=state["high"],
+        low=state["low"],
+        close=state["close"],
+        volume=state["volume"],
+        period_seconds=int(state["period_seconds"]),
+    )

@@ -155,6 +155,32 @@ class RegimeSchedule:
     def regimes(self) -> List[Regime]:
         return list(self._regimes)
 
+    # -- evaluation-side labeling --------------------------------------
+    def labels(self, epochs: np.ndarray) -> List[str]:
+        """Regime *names* for an array of epochs (evaluation labeling)."""
+        return [r.name for r in self.lookup(epochs)]
+
+    def segments(self, epochs: np.ndarray) -> List[Tuple[str, int, int]]:
+        """Contiguous same-regime runs over ``epochs``.
+
+        Returns ``(name, start, stop)`` triples where ``epochs[start:stop]``
+        all fall in the named regime.  Consecutive runs share a boundary
+        index; the walk-forward evaluator uses them to attribute each
+        back-test period to the regime it traded through.
+        """
+        epochs = np.asarray(epochs)
+        if epochs.size == 0:
+            return []
+        names = self.labels(epochs)
+        out: List[Tuple[str, int, int]] = []
+        start = 0
+        for i in range(1, len(names)):
+            if names[i] != names[start]:
+                out.append((names[start], start, i))
+                start = i
+        out.append((names[start], start, len(names)))
+        return out
+
 
 def default_crypto_schedule() -> RegimeSchedule:
     """The 2016–2021 cryptocurrency market narrative.

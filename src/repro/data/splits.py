@@ -19,10 +19,10 @@ Exp.   Training set           Back-test set          Total
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple, Union
 
 from .market import MarketData
-from .regimes import parse_date
+from .regimes import format_date, parse_date
 
 
 @dataclass(frozen=True)
@@ -87,3 +87,54 @@ def get_window(experiment: int) -> ExperimentWindow:
         raise KeyError(
             f"unknown experiment {experiment}; choose from {sorted(TABLE1_WINDOWS)}"
         ) from None
+
+
+def walk_forward_windows(
+    start: Union[int, str],
+    end: Union[int, str],
+    train_days: int,
+    test_days: int,
+    step_days: int = 0,
+    anchored: bool = False,
+) -> List[ExperimentWindow]:
+    """Roll train/test windows through ``[start, end)``.
+
+    Fold ``k`` tests on ``test_days`` of data following its training
+    span; successive test starts advance by ``step_days`` (default: the
+    test length, i.e. back-to-back non-overlapping test windows).  With
+    ``anchored=True`` every fold trains from ``start`` (expanding
+    window); otherwise each fold trains on the trailing ``train_days``
+    (rolling window).  Folds whose test window would run past ``end``
+    are dropped — every returned fold has its full test span.
+
+    The folds are plain :class:`ExperimentWindow` rows (``experiment``
+    numbering them from 0), so the Table 1 split machinery — including
+    the one-period back-test anchor — applies unchanged.
+    """
+    if train_days <= 0 or test_days <= 0:
+        raise ValueError("train_days and test_days must be positive")
+    if step_days < 0:
+        raise ValueError("step_days must be non-negative")
+    step_days = step_days or test_days
+    day = 86400
+    t0 = parse_date(start) if isinstance(start, str) else int(start)
+    t_end = parse_date(end) if isinstance(end, str) else int(end)
+    if t0 + (train_days + test_days) * day > t_end:
+        raise ValueError(
+            f"span [{start}, {end}) too short for one "
+            f"{train_days}+{test_days}-day fold"
+        )
+    folds: List[ExperimentWindow] = []
+    test_start = t0 + train_days * day
+    while test_start + test_days * day <= t_end:
+        train_start = t0 if anchored else test_start - train_days * day
+        folds.append(
+            ExperimentWindow(
+                experiment=len(folds),
+                train_start=format_date(train_start),
+                test_start=format_date(test_start),
+                test_end=format_date(test_start + test_days * day),
+            )
+        )
+        test_start += step_days * day
+    return folds

@@ -73,3 +73,13 @@ class PortfolioVectorMemory:
     def snapshot(self) -> np.ndarray:
         """Copy of the full memory (diagnostics/tests)."""
         return self._memory.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        """Load a :meth:`snapshot` back (resumable-training support)."""
+        snapshot = np.asarray(snapshot, dtype=np.float64)
+        if snapshot.shape != self._memory.shape:
+            raise ValueError(
+                f"snapshot shape {snapshot.shape} does not match memory "
+                f"shape {self._memory.shape}"
+            )
+        np.copyto(self._memory, snapshot)

@@ -1,45 +1,88 @@
-"""Experiment harness: Table 1/2 configs, end-to-end runners, table rendering."""
+"""Experiment harness: Table 1/2 configs, the sharded sweep engine,
+walk-forward evaluation, the artifact store, and table rendering."""
 
+from .artifacts import ArtifactStore, ShardArtifact
 from .config import (
     PAPER_HYPERPARAMETERS,
     ExperimentConfig,
     available_profiles,
     make_config,
 )
+from .engine import ShardOutcome, SweepResult, SweepRunner, run_shard
 from .runner import (
     ExperimentData,
     ExperimentResult,
     PowerComparison,
     build_experiment_data,
+    make_trainer,
     run_experiment,
     run_power_comparison,
+    train_agent,
     train_drl_agent,
     train_sdp_agent,
+)
+from .spec import (
+    DEFAULT_COST_REGIMES,
+    CostRegime,
+    ExperimentSpec,
+    ShardSpec,
+    decode_experiment_config,
+    encode_experiment_config,
 )
 from .tables import (
     PAPER_TABLE3,
     PAPER_TABLE4,
+    render_regime_table,
+    render_sweep_table,
     render_table3,
     render_table4,
+    render_walkforward_table,
     summarize_shape_check,
+)
+from .walkforward import (
+    FoldRecord,
+    WalkForwardEvaluator,
+    WalkForwardReport,
+    per_regime_metrics,
 )
 
 __all__ = [
+    "ArtifactStore",
+    "CostRegime",
+    "DEFAULT_COST_REGIMES",
     "ExperimentConfig",
     "ExperimentData",
     "ExperimentResult",
+    "ExperimentSpec",
+    "FoldRecord",
     "PAPER_HYPERPARAMETERS",
     "PAPER_TABLE3",
     "PAPER_TABLE4",
     "PowerComparison",
+    "ShardArtifact",
+    "ShardOutcome",
+    "ShardSpec",
+    "SweepResult",
+    "SweepRunner",
+    "WalkForwardEvaluator",
+    "WalkForwardReport",
     "available_profiles",
     "build_experiment_data",
+    "decode_experiment_config",
+    "encode_experiment_config",
     "make_config",
+    "make_trainer",
+    "per_regime_metrics",
+    "render_regime_table",
+    "render_sweep_table",
     "render_table3",
     "render_table4",
+    "render_walkforward_table",
     "run_experiment",
     "run_power_comparison",
+    "run_shard",
     "summarize_shape_check",
+    "train_agent",
     "train_drl_agent",
     "train_sdp_agent",
 ]

@@ -1,0 +1,379 @@
+"""Unified on-disk artifact store for experiment outputs.
+
+One layout, one API, three consumers: sweep shards write through it,
+table rendering and benches read metrics back through it, and
+:mod:`repro.serving` loads trained strategies from it.  Everything is
+plain ``npz`` + ``json`` (via :mod:`repro.utils.serialization`), so a
+store survives refactors of the in-memory classes.
+
+Layout::
+
+    <root>/
+      manifest.json                     # sweep spec + shard index
+      shards/<shard_id>/
+        shard.json                      # spec, strategy spec, metrics, "complete"
+        series.npz                      # back-test trajectories
+        weights.npz                     # network state dict (learned strategies)
+        trainer.npz                     # resumable trainer counters (history)
+      experiments/<key>/
+        experiment.json                 # config + per-strategy metrics
+        market.npz                      # the back-test panel
+        backtest_<i>.npz                # per-strategy trajectories
+        agent_<name>.npz                # learned agents' weights
+
+``shard.json`` is written *last* with ``"complete": true`` — the commit
+point.  A shard directory without it (a killed worker) is treated as
+absent and re-run; :meth:`ArtifactStore.has_shard` is what gives the
+sweep engine its checkpoint/resume semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from ..data.market import MarketData, market_from_state, market_to_state
+from ..envs.backtester import BacktestResult
+from ..metrics import BacktestMetrics
+from ..registry import DEFAULT_REGISTRY, StrategyRegistry
+from ..utils.serialization import (
+    PathLike,
+    decode_tagged,
+    encode_tagged,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+)
+from .spec import ShardSpec, decode_experiment_config, encode_experiment_config
+
+if TYPE_CHECKING:
+    from ..agents.base import Agent
+    from .runner import ExperimentResult
+
+_SERIES_KEYS = ("values", "weights", "rewards", "mus")
+
+
+def _metrics_to_dict(metrics: BacktestMetrics) -> Dict[str, float]:
+    return {
+        "fapv": metrics.fapv,
+        "sharpe": metrics.sharpe,
+        "mdd": metrics.mdd,
+        "sortino": metrics.sortino,
+        "calmar": metrics.calmar,
+        "annual_volatility": metrics.annual_volatility,
+        "hit_rate": metrics.hit_rate,
+        "num_periods": metrics.num_periods,
+    }
+
+
+def _metrics_from_dict(payload: Dict[str, Any]) -> BacktestMetrics:
+    return BacktestMetrics(
+        fapv=float(payload["fapv"]),
+        sharpe=float(payload["sharpe"]),
+        mdd=float(payload["mdd"]),
+        sortino=float(payload["sortino"]),
+        calmar=float(payload["calmar"]),
+        annual_volatility=float(payload["annual_volatility"]),
+        hit_rate=float(payload["hit_rate"]),
+        num_periods=int(payload["num_periods"]),
+    )
+
+
+def _result_to_series(result: BacktestResult) -> Dict[str, np.ndarray]:
+    return {
+        "values": np.asarray(result.values),
+        "weights": np.asarray(result.weights),
+        "rewards": np.asarray(result.rewards),
+        "mus": np.asarray(result.mus),
+    }
+
+
+def _result_from_parts(
+    agent_name: str, series: Dict[str, np.ndarray], metrics: BacktestMetrics
+) -> BacktestResult:
+    return BacktestResult(
+        agent_name=agent_name,
+        values=series["values"],
+        weights=series["weights"],
+        rewards=series["rewards"],
+        mus=series["mus"],
+        metrics=metrics,
+    )
+
+
+@dataclass
+class ShardArtifact:
+    """Everything one executed shard persists.
+
+    ``strategy_spec`` is the registry-shape ``{"strategy", "params"}``
+    dict (decoded form) with which the shard's agent was constructed —
+    the contract that lets :meth:`ArtifactStore.load_agent` rebuild it
+    identically.
+    """
+
+    shard: ShardSpec
+    strategy_spec: Dict[str, Any]
+    metrics: BacktestMetrics
+    series: Dict[str, np.ndarray]
+    weights_state: Optional[Dict[str, np.ndarray]] = None
+    history: Optional[Dict[str, List[float]]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def shard_id(self) -> str:
+        return self.shard.shard_id
+
+    def to_backtest_result(self) -> BacktestResult:
+        """The shard's back-test as a live :class:`BacktestResult`."""
+        return _result_from_parts(
+            self.strategy_spec["strategy"], self.series, self.metrics
+        )
+
+
+class ArtifactStore:
+    """Directory-backed store for sweep shards and experiment results."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------
+    def shard_dir(self, shard_id: str) -> Path:
+        return self.root / "shards" / shard_id
+
+    def experiment_dir(self, key: str) -> Path:
+        return self.root / "experiments" / key
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    # -- shards --------------------------------------------------------
+    def has_shard(self, shard_id: str) -> bool:
+        """True when the shard committed (``shard.json`` marked complete).
+
+        Partial directories from a killed worker read as absent, which
+        is exactly the resume semantic: incomplete work is redone,
+        committed work is skipped.
+        """
+        path = self.shard_dir(shard_id) / "shard.json"
+        if not path.exists():
+            return False
+        try:
+            return bool(load_json(path).get("complete"))
+        except ValueError:
+            return False
+
+    def list_shards(self) -> List[str]:
+        """Sorted ids of every *committed* shard in the store."""
+        shards_dir = self.root / "shards"
+        if not shards_dir.is_dir():
+            return []
+        return sorted(
+            p.name for p in shards_dir.iterdir() if self.has_shard(p.name)
+        )
+
+    def save_shard(self, artifact: ShardArtifact) -> Path:
+        """Persist a shard; ``shard.json`` lands last as the commit mark."""
+        directory = self.shard_dir(artifact.shard_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_state_dict(directory / "series.npz", artifact.series)
+        if artifact.weights_state is not None:
+            save_state_dict(directory / "weights.npz", artifact.weights_state)
+        payload = {
+            "version": 1,
+            "shard": artifact.shard.to_json_dict(),
+            "strategy": {
+                "strategy": artifact.strategy_spec["strategy"],
+                "params": encode_tagged(artifact.strategy_spec["params"]),
+            },
+            "metrics": _metrics_to_dict(artifact.metrics),
+            "history": artifact.history,
+            "has_weights": artifact.weights_state is not None,
+            "extra": encode_tagged(artifact.extra),
+            "complete": True,
+        }
+        save_json(directory / "shard.json", payload)
+        return directory
+
+    def load_shard(self, shard_id: str) -> ShardArtifact:
+        """Load a committed shard back into memory."""
+        directory = self.shard_dir(shard_id)
+        payload = load_json(directory / "shard.json")
+        if not payload.get("complete"):
+            raise FileNotFoundError(f"shard {shard_id!r} is incomplete")
+        weights = None
+        if payload.get("has_weights"):
+            weights = load_state_dict(directory / "weights.npz")
+        return ShardArtifact(
+            shard=ShardSpec.from_json_dict(payload["shard"]),
+            strategy_spec={
+                "strategy": payload["strategy"]["strategy"],
+                "params": decode_tagged(payload["strategy"]["params"]),
+            },
+            metrics=_metrics_from_dict(payload["metrics"]),
+            series=load_state_dict(directory / "series.npz"),
+            weights_state=weights,
+            history=payload.get("history"),
+            extra=decode_tagged(payload.get("extra") or {}),
+        )
+
+    def _shard_json(self, shard_id: str) -> Dict[str, Any]:
+        payload = load_json(self.shard_dir(shard_id) / "shard.json")
+        if not payload.get("complete"):
+            raise FileNotFoundError(f"shard {shard_id!r} is incomplete")
+        return payload
+
+    def load_shard_metrics(self, shard_id: str) -> Dict[str, float]:
+        """Metrics-only read (what table rendering needs) — no arrays."""
+        return dict(self._shard_json(shard_id)["metrics"])
+
+    def load_strategy_spec(self, shard_id: str) -> Dict[str, Any]:
+        """The shard's ``{"strategy", "params"}`` spec — json only, no
+        npz reads (what a serving warm path needs)."""
+        payload = self._shard_json(shard_id)
+        return {
+            "strategy": payload["strategy"]["strategy"],
+            "params": decode_tagged(payload["strategy"]["params"]),
+        }
+
+    def load_agent(
+        self, shard_id: str, registry: Optional[StrategyRegistry] = None
+    ) -> "Agent":
+        """Rebuild the shard's strategy, trained weights included.
+
+        This is the checkpoint-loading path :mod:`repro.serving` uses:
+        the stored constructor params reproduce the exact agent the
+        shard ran, then the persisted network state overwrites the
+        fresh initialisation.  Reads only ``shard.json`` plus
+        ``weights.npz`` — never the trajectory arrays.
+        """
+        registry = registry if registry is not None else DEFAULT_REGISTRY
+        payload = self._shard_json(shard_id)
+        spec = {
+            "strategy": payload["strategy"]["strategy"],
+            "params": decode_tagged(payload["strategy"]["params"]),
+        }
+        agent = registry.create(spec["strategy"], **spec["params"])
+        if payload.get("has_weights"):
+            agent.network.load_state_dict(
+                load_state_dict(self.shard_dir(shard_id) / "weights.npz")
+            )
+        return agent
+
+    # -- manifest ------------------------------------------------------
+    def write_manifest(self, payload: Dict[str, Any]) -> Path:
+        save_json(self.manifest_path, payload)
+        return self.manifest_path
+
+    def read_manifest(self) -> Dict[str, Any]:
+        return load_json(self.manifest_path)
+
+    # -- ExperimentResult round-trip ----------------------------------
+    def save_experiment(self, key: str, result: "ExperimentResult") -> Path:
+        """Persist a full :class:`ExperimentResult` under ``key``."""
+        directory = self.experiment_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        names = sorted(result.backtests)
+        backtests_payload = []
+        for i, name in enumerate(names):
+            bt = result.backtests[name]
+            save_state_dict(directory / f"backtest_{i}.npz", _result_to_series(bt))
+            backtests_payload.append(
+                {
+                    "name": name,
+                    "file": f"backtest_{i}.npz",
+                    "metrics": _metrics_to_dict(bt.metrics),
+                }
+            )
+        agents_payload = {}
+        for label, agent in (("sdp", result.sdp_agent), ("drl", result.drl_agent)):
+            if agent is None:
+                continue
+            save_state_dict(
+                directory / f"agent_{label}.npz", agent.network.state_dict()
+            )
+            agents_payload[label] = f"agent_{label}.npz"
+        if result.test_data is not None:
+            save_state_dict(directory / "market.npz", market_to_state(result.test_data))
+        save_json(
+            directory / "experiment.json",
+            {
+                "version": 1,
+                "config": encode_experiment_config(result.config),
+                "assets": list(result.assets),
+                "backtests": backtests_payload,
+                "agents": agents_payload,
+                "has_test_data": result.test_data is not None,
+                "sdp_history": _history_to_dict(result.sdp_history),
+                "drl_history": _history_to_dict(result.drl_history),
+                "complete": True,
+            },
+        )
+        return directory
+
+    def load_experiment(self, key: str) -> "ExperimentResult":
+        """Rebuild an :class:`ExperimentResult` saved by
+        :meth:`save_experiment` — metrics bit-exact from the manifest,
+        trajectories from npz, and the learned agents reconstructed from
+        the stored config with their trained weights loaded."""
+        from ..registry import strategy_from_config
+        from .runner import ExperimentResult
+
+        directory = self.experiment_dir(key)
+        payload = load_json(directory / "experiment.json")
+        config = decode_experiment_config(payload["config"])
+        assets = [str(a) for a in payload["assets"]]
+
+        backtests = {}
+        for entry in payload["backtests"]:
+            series = load_state_dict(directory / entry["file"])
+            backtests[entry["name"]] = _result_from_parts(
+                entry["name"], series, _metrics_from_dict(entry["metrics"])
+            )
+
+        agents: Dict[str, Any] = {"sdp": None, "drl": None}
+        for label, filename in payload["agents"].items():
+            name = "sdp" if label == "sdp" else "jiang"
+            agent = strategy_from_config(name, config, n_assets=len(assets))
+            agent.network.load_state_dict(load_state_dict(directory / filename))
+            agents[label] = agent
+
+        test_data: Optional[MarketData] = None
+        if payload.get("has_test_data"):
+            test_data = market_from_state(load_state_dict(directory / "market.npz"))
+
+        return ExperimentResult(
+            config=config,
+            assets=assets,
+            backtests=backtests,
+            sdp_history=_history_from_dict(payload["sdp_history"]),
+            drl_history=_history_from_dict(payload["drl_history"]),
+            sdp_agent=agents["sdp"],
+            drl_agent=agents["drl"],
+            test_data=test_data,
+        )
+
+
+def _history_to_dict(history) -> Dict[str, List[float]]:
+    if history is None:
+        return {"steps": [], "loss": [], "reward": []}
+    return {
+        "steps": list(history.steps),
+        "loss": list(history.loss),
+        "reward": list(history.reward),
+    }
+
+
+def _history_from_dict(payload: Dict[str, List[float]]):
+    from ..agents.trainer import TrainHistory
+
+    history = TrainHistory()
+    for step, loss, reward in zip(
+        payload["steps"], payload["loss"], payload["reward"]
+    ):
+        history.record(int(step), float(loss), float(reward))
+    return history

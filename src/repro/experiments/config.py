@@ -62,6 +62,11 @@ class ExperimentConfig:
     market_seed: int = 2022
     agent_seed: int = 7
 
+    def __post_init__(self):
+        # Normalise sequence input (e.g. JSON round-trips) so configs
+        # decoded from artifact manifests compare equal to built ones.
+        object.__setattr__(self, "hidden_sizes", tuple(self.hidden_sizes))
+
     @property
     def label(self) -> str:
         return f"exp{self.experiment}-{self.profile}"

@@ -1,0 +1,261 @@
+"""The sharded sweep engine: grid execution over a process pool.
+
+:func:`run_shard` is the whole unit of work — build the shard's config,
+data, and strategy, train it if it is learned, back-test it, and commit
+a :class:`~repro.experiments.artifacts.ShardArtifact`.  It is a
+module-level function of picklable arguments, so the *same code path*
+runs a shard in-process and in a worker: serial and pooled sweeps are
+bit-identical by construction (each shard derives all of its randomness
+from its own spec, never from execution order or process state).
+
+:class:`SweepRunner` orchestrates: expand the spec, skip shards whose
+artifacts are already committed (checkpoint/resume), run the rest
+serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+write the sweep manifest.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..agents import run_backtest
+from ..registry import (
+    DEFAULT_REGISTRY,
+    is_trainable,
+    strategy_params_from_config,
+)
+from ..utils.serialization import PathLike
+from .artifacts import (
+    ArtifactStore,
+    ShardArtifact,
+    _history_to_dict,
+    _metrics_to_dict,
+    _result_to_series,
+)
+from .runner import build_experiment_data, make_trainer
+from .spec import ExperimentSpec, ShardSpec
+
+
+def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
+    """Execute one shard end to end and commit its artifact.
+
+    Returns a small JSON-able summary (the pool ships it back instead
+    of the trajectories).  Idempotent: a shard already committed in the
+    store is skipped, so racing a resume against a half-finished sweep
+    never recomputes finished work.
+    """
+    store = ArtifactStore(store_root)
+    shard_id = shard.shard_id
+    if store.has_shard(shard_id):
+        return {
+            "shard_id": shard_id,
+            "status": "skipped",
+            "metrics": store.load_shard_metrics(shard_id),
+        }
+
+    config = shard.config()
+    data = build_experiment_data(config)
+    params = strategy_params_from_config(
+        shard.strategy, config, n_assets=len(data.assets)
+    )
+    agent = DEFAULT_REGISTRY.create(shard.strategy, **params)
+
+    history = None
+    weights_state = None
+    if is_trainable(shard.strategy):
+        history = _history_to_dict(make_trainer(agent, data.train, config).train())
+        weights_state = agent.network.state_dict()
+
+    result = run_backtest(
+        agent,
+        data.test,
+        observation=config.observation,
+        commission=config.commission,
+    )
+    artifact = ShardArtifact(
+        shard=shard,
+        strategy_spec={"strategy": shard.strategy, "params": params},
+        metrics=result.metrics,
+        series=_result_to_series(result),
+        weights_state=weights_state,
+        history=history,
+        extra={"assets": list(data.assets)},
+    )
+    store.save_shard(artifact)
+    return {
+        "shard_id": shard_id,
+        "status": "ran",
+        "metrics": _metrics_to_dict(result.metrics),
+    }
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's fate in a sweep run."""
+
+    shard: ShardSpec
+    status: str  # "ran" | "skipped"
+    metrics: Dict[str, float]
+
+    @property
+    def shard_id(self) -> str:
+        return self.shard.shard_id
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` call."""
+
+    spec: ExperimentSpec
+    outcomes: List[ShardOutcome]
+    pending: List[ShardSpec]  # expanded but not executed (max_shards cut)
+
+    @property
+    def ran(self) -> List[ShardOutcome]:
+        return [o for o in self.outcomes if o.status == "ran"]
+
+    @property
+    def skipped(self) -> List[ShardOutcome]:
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+    def aggregate(self) -> List[Dict[str, object]]:
+        """Across-seed mean±std rows per (experiment, strategy, cost).
+
+        The multi-seed evidence the single-run paper tables lack: each
+        row pools every seed of one grid cell.
+        """
+        groups: Dict[Tuple[int, str, str], List[Dict[str, float]]] = {}
+        for outcome in self.outcomes:
+            key = (
+                outcome.shard.experiment,
+                outcome.shard.strategy,
+                outcome.shard.cost.name,
+            )
+            groups.setdefault(key, []).append(outcome.metrics)
+        rows = []
+        for (experiment, strategy, cost), metrics_list in sorted(groups.items()):
+            row: Dict[str, object] = {
+                "experiment": experiment,
+                "strategy": strategy,
+                "cost": cost,
+                "seeds": len(metrics_list),
+            }
+            for metric in ("fapv", "mdd", "sharpe"):
+                values = np.array([m[metric] for m in metrics_list], dtype=np.float64)
+                row[f"{metric}_mean"] = float(values.mean())
+                row[f"{metric}_std"] = (
+                    float(values.std(ddof=1)) if values.size > 1 else 0.0
+                )
+            rows.append(row)
+        return rows
+
+
+class SweepRunner:
+    """Expands a spec into shards and executes them with resume.
+
+    Parameters
+    ----------
+    spec:
+        The sweep grid.
+    store:
+        Artifact store (a path is accepted) shards commit into.
+    max_workers:
+        Process-pool width for ``parallel=True`` runs.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        store: "ArtifactStore | PathLike",
+        max_workers: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        parallel: bool = False,
+        max_shards: Optional[int] = None,
+        progress: Optional[Callable[[str, str], None]] = None,
+    ) -> SweepResult:
+        """Run the sweep; skip committed shards; write the manifest.
+
+        ``max_shards`` caps how many *pending* shards execute this call
+        (the rest stay pending for the next invocation) — the hook CI
+        uses to simulate an interrupted sweep, and the knob for running
+        a large grid in instalments.  ``progress`` receives
+        ``(shard_id, status)`` as outcomes land.
+        """
+        shards = self.spec.expand()
+        outcomes: List[ShardOutcome] = []
+        pending: List[ShardSpec] = []
+        for shard in shards:
+            if self.store.has_shard(shard.shard_id):
+                outcome = ShardOutcome(
+                    shard, "skipped", self.store.load_shard_metrics(shard.shard_id)
+                )
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(shard.shard_id, "skipped")
+            else:
+                pending.append(shard)
+
+        to_run = pending if max_shards is None else pending[:max_shards]
+        deferred = [] if max_shards is None else pending[max_shards:]
+        root = str(self.store.root)
+
+        def collect(shard: ShardSpec, summary: Dict[str, object]) -> None:
+            outcome = ShardOutcome(
+                shard, str(summary["status"]), dict(summary["metrics"])
+            )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(shard.shard_id, outcome.status)
+
+        if parallel and len(to_run) > 1:
+            workers = self.max_workers or min(len(to_run), 4)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # pool.map yields in submission order as results land,
+                # so progress streams while later shards still run.
+                for shard, summary in zip(
+                    to_run, pool.map(run_shard, to_run, [root] * len(to_run))
+                ):
+                    collect(shard, summary)
+        else:
+            for shard in to_run:
+                collect(shard, run_shard(shard, root))
+
+        # Keep outcomes in expansion order — aggregation and manifests
+        # must not depend on completion order.
+        order = {shard.shard_id: i for i, shard in enumerate(shards)}
+        outcomes.sort(key=lambda o: order[o.shard_id])
+        result = SweepResult(spec=self.spec, outcomes=outcomes, pending=deferred)
+        self.store.write_manifest(
+            {
+                "version": 1,
+                "spec": self.spec.to_json_dict(),
+                "shards": [
+                    {
+                        "shard_id": o.shard_id,
+                        "status": "complete",
+                        "metrics": o.metrics,
+                    }
+                    for o in outcomes
+                ]
+                + [
+                    {"shard_id": s.shard_id, "status": "pending"}
+                    for s in deferred
+                ],
+                "complete": result.complete,
+            }
+        )
+        return result

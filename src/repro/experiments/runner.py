@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..agents import (
+    Agent,
     BacktestResult,
     JiangDRLAgent,
     PolicyTrainer,
@@ -90,15 +91,28 @@ class ExperimentResult:
         return rows
 
 
-def train_sdp_agent(
-    config: ExperimentConfig, data: ExperimentData
-) -> Tuple[SDPAgent, TrainHistory]:
-    """Train the paper's SDP agent on the experiment's training panel."""
-    agent = strategy_from_config("sdp", config, n_assets=len(data.assets))
-    trainer = PolicyTrainer(
+def make_trainer(
+    agent: Agent,
+    panel: MarketData,
+    config: ExperimentConfig,
+    optimizer=None,
+    seed: Optional[int] = None,
+) -> PolicyTrainer:
+    """The experiment harness's trainer wiring, in one place.
+
+    Adam at the config's learning rate (unless an ``optimizer`` is
+    carried in, e.g. across walk-forward folds), the paper's minibatch
+    settings, permute-assets augmentation, and the config's agent seed
+    (overridable for per-fold streams).  ``run_experiment``, the sweep
+    engine's shards, and walk-forward fine-tuning all train through
+    this — change it here and every path trains identically.
+    """
+    if optimizer is None:
+        optimizer = Adam(agent.parameters(), config.learning_rate)
+    return PolicyTrainer(
         agent,
-        data.train,
-        Adam(agent.parameters(), config.learning_rate),
+        panel,
+        optimizer,
         observation=config.observation,
         config=TrainConfig(
             steps=config.train_steps,
@@ -106,45 +120,55 @@ def train_sdp_agent(
             commission=config.commission,
             permute_assets=True,
         ),
-        seed=config.agent_seed,
+        seed=config.agent_seed if seed is None else seed,
     )
-    history = trainer.train()
+
+
+def train_agent(
+    name: str, config: ExperimentConfig, data: ExperimentData
+) -> Tuple[Agent, TrainHistory]:
+    """Train a learned strategy on the experiment's training panel:
+    registry construction from the config plus :func:`make_trainer`."""
+    agent = strategy_from_config(name, config, n_assets=len(data.assets))
+    history = make_trainer(agent, data.train, config).train()
     return agent, history
+
+
+def train_sdp_agent(
+    config: ExperimentConfig, data: ExperimentData
+) -> Tuple[SDPAgent, TrainHistory]:
+    """Train the paper's SDP agent on the experiment's training panel."""
+    return train_agent("sdp", config, data)
 
 
 def train_drl_agent(
     config: ExperimentConfig, data: ExperimentData
 ) -> Tuple[JiangDRLAgent, TrainHistory]:
     """Train the DRL[Jiang] EIIE baseline on the same panel."""
-    agent = strategy_from_config("jiang", config, n_assets=len(data.assets))
-    trainer = PolicyTrainer(
-        agent,
-        data.train,
-        Adam(agent.parameters(), config.learning_rate),
-        observation=config.observation,
-        config=TrainConfig(
-            steps=config.train_steps,
-            batch_size=config.batch_size,
-            commission=config.commission,
-            permute_assets=True,
-        ),
-        seed=config.agent_seed,
-    )
-    history = trainer.train()
-    return agent, history
+    return train_agent("jiang", config, data)
 
 
 def run_experiment(
     config: ExperimentConfig,
     include_baselines: bool = True,
     data: Optional[ExperimentData] = None,
+    sdp: Optional[Tuple[SDPAgent, TrainHistory]] = None,
+    drl: Optional[Tuple[JiangDRLAgent, TrainHistory]] = None,
 ) -> ExperimentResult:
-    """Run one Table 3 experiment end to end."""
-    data = data if data is not None else build_experiment_data(config)
-    sdp, sdp_history = train_sdp_agent(config, data)
-    drl, drl_history = train_drl_agent(config, data)
+    """Run one Table 3 experiment end to end.
 
-    agents = [sdp, drl]
+    ``data`` and the trained agent pairs (``sdp``/``drl``, as returned
+    by :func:`train_sdp_agent` / :func:`train_drl_agent`) are reused
+    when supplied instead of re-derived — a caller that already built
+    the panels or trained the agents (the power comparison, a sweep
+    shard, a notebook iterating on baselines) back-tests without paying
+    for generation or training again.
+    """
+    data = data if data is not None else build_experiment_data(config)
+    sdp_agent, sdp_history = sdp if sdp is not None else train_sdp_agent(config, data)
+    drl_agent, drl_history = drl if drl is not None else train_drl_agent(config, data)
+
+    agents = [sdp_agent, drl_agent]
     if include_baselines:
         agents.extend(table3_baselines())
 
@@ -162,8 +186,8 @@ def run_experiment(
         backtests=backtests,
         sdp_history=sdp_history,
         drl_history=drl_history,
-        sdp_agent=sdp,
-        drl_agent=drl,
+        sdp_agent=sdp_agent,
+        drl_agent=drl_agent,
         test_data=data.test,
     )
 

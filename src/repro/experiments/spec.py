@@ -1,0 +1,255 @@
+"""Sweep specification: the experiment grid and its shards.
+
+An :class:`ExperimentSpec` names a grid — seeds × strategies × market
+windows (Table 1 experiments) × cost regimes — over one config profile.
+:meth:`ExperimentSpec.expand` flattens the grid into independent
+:class:`ShardSpec` cells, each fully self-describing: a shard carries
+everything needed to run it in any process (deterministic per-shard
+seeding comes from the shard itself, not from execution order), and its
+:attr:`~ShardSpec.shard_id` is a content fingerprint, so re-running the
+same spec finds (and skips) its previous artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..data.splits import ExperimentWindow
+from ..envs.costs import DEFAULT_COMMISSION
+from ..envs.observations import ObservationConfig
+from ..registry import is_trainable
+from ..snn.neurons import LIFParameters
+from ..utils.rng import stable_hash
+from ..utils.serialization import (
+    decode_tagged,
+    encode_tagged,
+    register_tagged_type,
+)
+from .config import ExperimentConfig, make_config
+
+# The config dataclasses specs and artifacts may carry.  Registration is
+# idempotent, so importing this module alongside repro.serving (which
+# registers ObservationConfig/LIFParameters too) is fine.
+register_tagged_type(ObservationConfig)
+register_tagged_type(LIFParameters)
+register_tagged_type(ExperimentWindow)
+register_tagged_type(ExperimentConfig)
+
+
+@register_tagged_type
+@dataclass(frozen=True)
+class CostRegime:
+    """One transaction-cost scenario of the sweep grid."""
+
+    name: str
+    commission: float = DEFAULT_COMMISSION
+
+    def __post_init__(self):
+        if self.commission < 0:
+            raise ValueError(f"commission must be non-negative, got {self.commission}")
+
+
+#: The paper's 0.25% per-side commission.  Add e.g.
+#: ``CostRegime("zero", 0.0)`` to a spec for a frictionless control.
+DEFAULT_COST_REGIMES: Tuple[CostRegime, ...] = (
+    CostRegime("paper", DEFAULT_COMMISSION),
+)
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(encode_tagged(payload), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One cell of the sweep grid — an independently runnable unit.
+
+    ``overrides`` are :func:`~repro.experiments.config.make_config`
+    keyword overrides, stored as a sorted tuple of pairs so shards stay
+    hashable and their fingerprints canonical.
+    """
+
+    sweep: str
+    profile: str
+    experiment: int
+    strategy: str
+    seed: int
+    cost: CostRegime
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def overrides_dict(self) -> Dict[str, Any]:
+        return dict(self.overrides)
+
+    @property
+    def shard_id(self) -> str:
+        """Deterministic, human-scannable identity of this shard.
+
+        The readable prefix names the grid axes; the trailing fingerprint
+        covers *everything* (profile, overrides, commission value), so
+        two shards differing only in an override never collide in a
+        store.
+        """
+        payload = {
+            "profile": self.profile,
+            "experiment": self.experiment,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "cost": self.cost,
+            "overrides": sorted(self.overrides),
+        }
+        digest = stable_hash(_canonical_json(payload), modulus=16 ** 8)
+        return (
+            f"exp{self.experiment}-{self.strategy}-s{self.seed}"
+            f"-{self.cost.name}-{digest:08x}"
+        )
+
+    def config(self) -> ExperimentConfig:
+        """The :class:`ExperimentConfig` this shard runs.
+
+        Per-shard determinism in one place: the shard's ``seed`` becomes
+        ``agent_seed`` (network init + trainer sampler/permutation
+        streams) and its cost regime becomes the commission; the market
+        seed stays the profile default so every shard of an experiment
+        trades the same panel.
+        """
+        return make_config(
+            self.experiment,
+            self.profile,
+            commission=self.cost.commission,
+            agent_seed=self.seed,
+            **self.overrides_dict,
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "profile": self.profile,
+            "experiment": self.experiment,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "cost": encode_tagged(self.cost),
+            "overrides": encode_tagged(dict(self.overrides)),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ShardSpec":
+        overrides = decode_tagged(payload["overrides"])
+        return cls(
+            sweep=str(payload["sweep"]),
+            profile=str(payload["profile"]),
+            experiment=int(payload["experiment"]),
+            strategy=str(payload["strategy"]),
+            seed=int(payload["seed"]),
+            cost=decode_tagged(payload["cost"]),
+            overrides=_freeze_overrides(overrides),
+        )
+
+
+def _freeze_overrides(overrides: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    frozen = []
+    for key in sorted(overrides):
+        value = overrides[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The sweep grid: seeds × strategies × windows × cost regimes."""
+
+    name: str
+    profile: str = "standard"
+    experiments: Tuple[int, ...] = (1,)
+    strategies: Tuple[str, ...] = ("sdp", "jiang")
+    seeds: Tuple[int, ...] = (7,)
+    cost_regimes: Tuple[CostRegime, ...] = DEFAULT_COST_REGIMES
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        for label, values in (
+            ("experiments", self.experiments),
+            ("strategies", self.strategies),
+            ("seeds", self.seeds),
+            ("cost_regimes", self.cost_regimes),
+        ):
+            object.__setattr__(self, label, tuple(values))
+            if not getattr(self, label):
+                raise ValueError(f"spec {self.name!r}: {label} must be non-empty")
+        if len(set(c.name for c in self.cost_regimes)) != len(self.cost_regimes):
+            raise ValueError(f"spec {self.name!r}: cost regime names must be unique")
+        object.__setattr__(
+            self, "overrides", _freeze_overrides(dict(self.overrides))
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.expand())
+
+    def expand(self) -> List[ShardSpec]:
+        """Flatten the grid into shards, in deterministic order.
+
+        The seed axis only applies to learned strategies (it becomes
+        the agent/trainer seed); classical baselines are deterministic
+        functions of the panel, so each of their grid cells expands to
+        a single shard under the first seed instead of N bit-identical
+        ones.
+        """
+        shards = []
+        for experiment in self.experiments:
+            for strategy in self.strategies:
+                seeds = self.seeds if is_trainable(strategy) else self.seeds[:1]
+                for cost in self.cost_regimes:
+                    for seed in seeds:
+                        shards.append(
+                            ShardSpec(
+                                sweep=self.name,
+                                profile=self.profile,
+                                experiment=experiment,
+                                strategy=strategy,
+                                seed=seed,
+                                cost=cost,
+                                overrides=self.overrides,
+                            )
+                        )
+        return shards
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "profile": self.profile,
+            "experiments": list(self.experiments),
+            "strategies": list(self.strategies),
+            "seeds": list(self.seeds),
+            "cost_regimes": encode_tagged(list(self.cost_regimes)),
+            "overrides": encode_tagged(dict(self.overrides)),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            name=str(payload["name"]),
+            profile=str(payload["profile"]),
+            experiments=tuple(int(e) for e in payload["experiments"]),
+            strategies=tuple(str(s) for s in payload["strategies"]),
+            seeds=tuple(int(s) for s in payload["seeds"]),
+            cost_regimes=tuple(decode_tagged(payload["cost_regimes"])),
+            overrides=_freeze_overrides(decode_tagged(payload["overrides"])),
+        )
+
+
+def encode_experiment_config(config: ExperimentConfig) -> Dict[str, Any]:
+    """Tagged JSON payload for an :class:`ExperimentConfig`."""
+    return encode_tagged(config)
+
+
+def decode_experiment_config(payload: Mapping[str, Any]) -> ExperimentConfig:
+    """Invert :func:`encode_experiment_config`."""
+    config = decode_tagged(dict(payload))
+    if not isinstance(config, ExperimentConfig):
+        raise ValueError("payload does not decode to an ExperimentConfig")
+    return config

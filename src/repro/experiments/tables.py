@@ -109,6 +109,97 @@ def render_table4(comparison: PowerComparison, with_paper: bool = True) -> str:
     return table
 
 
+def _pm(mean: float, std: float) -> str:
+    """``mean±std`` cell with the table's float conventions."""
+
+    def one(x: float) -> str:
+        if x != 0 and (abs(x) >= 1e5 or abs(x) < 1e-3):
+            return f"{x:.3e}"
+        return f"{x:.3f}"
+
+    return f"{one(mean)}±{one(std)}"
+
+
+def render_sweep_table(sweep, with_paper: bool = True) -> str:
+    """Across-seed aggregate table for a sweep.
+
+    ``sweep`` is a :class:`~repro.experiments.engine.SweepResult` (or
+    anything with its ``aggregate()`` rows).  Each row is one grid cell
+    (experiment × strategy × cost regime) with mean±std across seeds —
+    the multi-seed companion to the paper's single-run Table 3 —
+    optionally with the paper's point values inline.
+    """
+    rows_in = sweep.aggregate() if hasattr(sweep, "aggregate") else list(sweep)
+    headers = ["Exp", "Strategy", "Cost", "Seeds", "MDD", "fAPV", "Sharpe"]
+    if with_paper:
+        headers += ["fAPV(paper)"]
+    # Sweep strategies are registry keys; the paper tables use display
+    # names.
+    display = {"sdp": "SDP", "jiang": "DRL[Jiang]", "ons": "ONS",
+               "anticor": "ANTICOR", "m0": "M0", "ucrp": "UCRP",
+               "best_stock": "Best Stock"}
+    rows: List[List[object]] = []
+    for row in rows_in:
+        cells: List[object] = [
+            row["experiment"],
+            row["strategy"],
+            row["cost"],
+            row["seeds"],
+            _pm(row["mdd_mean"], row["mdd_std"]),
+            _pm(row["fapv_mean"], row["fapv_std"]),
+            _pm(row["sharpe_mean"], row["sharpe_std"]),
+        ]
+        if with_paper:
+            ref = PAPER_TABLE3.get(row["experiment"], {}).get(
+                display.get(str(row["strategy"]), str(row["strategy"]))
+            )
+            cells.append(ref[1] if ref else "-")
+        rows.append(cells)
+    return format_table(headers, rows, title="Sweep aggregates (mean±std across seeds)")
+
+
+def render_walkforward_table(report) -> str:
+    """Per-fold aggregate table for a walk-forward report."""
+    headers = ["Fold", "Test window", "Strategy", "Seeds", "MDD", "fAPV", "Sharpe"]
+    rows: List[List[object]] = []
+    for row in report.fold_aggregates():
+        rows.append(
+            [
+                row["fold"],
+                f"{row['test_start']}–{row['test_end']}",
+                row["strategy"],
+                row["seeds"],
+                _pm(row["mdd_mean"], row["mdd_std"]),
+                _pm(row["fapv_mean"], row["fapv_std"]),
+                _pm(row["sharpe_mean"], row["sharpe_std"]),
+            ]
+        )
+    return format_table(
+        headers, rows, title="Walk-forward evaluation (mean±std across seeds)"
+    )
+
+
+def render_regime_table(report) -> str:
+    """Per-regime attribution table for a walk-forward report."""
+    headers = ["Regime", "Strategy", "Periods", "Seeds", "MDD", "fAPV", "Sharpe"]
+    rows: List[List[object]] = []
+    for row in report.regime_aggregates():
+        rows.append(
+            [
+                row["regime"],
+                row["strategy"],
+                row["periods"],
+                row["seeds"],
+                _pm(row["mdd_mean"], row["mdd_std"]),
+                _pm(row["fapv_mean"], row["fapv_std"]),
+                _pm(row["sharpe_mean"], row["sharpe_std"]),
+            ]
+        )
+    return format_table(
+        headers, rows, title="Per-regime attribution (mean±std across seeds)"
+    )
+
+
 def summarize_shape_check(result: ExperimentResult) -> List[str]:
     """Qualitative shape assertions of the paper for one experiment.
 

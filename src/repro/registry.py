@@ -38,11 +38,14 @@ StrategyFactory = Callable[..., Agent]
 __all__ = [
     "DEFAULT_REGISTRY",
     "StrategyRegistry",
+    "TRAINABLE_STRATEGIES",
     "available_strategies",
     "build",
     "create",
+    "is_trainable",
     "register",
     "strategy_from_config",
+    "strategy_params_from_config",
 ]
 
 
@@ -182,18 +185,29 @@ def available_strategies() -> Tuple[str, ...]:
     return DEFAULT_REGISTRY.names()
 
 
-def strategy_from_config(
+#: Registry names of the strategies trained by :class:`PolicyTrainer`
+#: (everything else is a parameter-free classical baseline to which
+#: seeds and network hyper-parameters do not apply).
+TRAINABLE_STRATEGIES: Tuple[str, ...] = ("sdp", "jiang")
+
+
+def is_trainable(name: str) -> bool:
+    """True when ``name`` denotes a learned (trainable) strategy."""
+    return _normalize(name) in TRAINABLE_STRATEGIES
+
+
+def strategy_params_from_config(
     name: str,
     config: "ExperimentConfig",
     n_assets: Optional[int] = None,
     **overrides: Any,
-) -> Agent:
-    """Build a strategy wired to an :class:`ExperimentConfig`.
+) -> Dict[str, Any]:
+    """Constructor params for strategy ``name`` under ``config``.
 
-    For the learned strategies the config's observation, network and
-    seed hyper-parameters become constructor arguments (exactly the
-    wiring the experiment runner uses); classical strategies take no
-    config parameters.  ``overrides`` replace any derived argument.
+    The single definition of spec→strategy wiring: the experiment
+    runner, the sweep engine, and artifact checkpoints all derive (and
+    persist) exactly this dict, so a strategy rebuilt from a stored spec
+    is constructed identically to the one the experiment ran.
     """
     key = _normalize(name)
     n = int(n_assets) if n_assets is not None else int(config.num_assets)
@@ -220,4 +234,22 @@ def strategy_from_config(
     else:
         params = {}
     params.update(overrides)
+    return params
+
+
+def strategy_from_config(
+    name: str,
+    config: "ExperimentConfig",
+    n_assets: Optional[int] = None,
+    **overrides: Any,
+) -> Agent:
+    """Build a strategy wired to an :class:`ExperimentConfig`.
+
+    For the learned strategies the config's observation, network and
+    seed hyper-parameters become constructor arguments (exactly the
+    wiring the experiment runner uses); classical strategies take no
+    config parameters.  ``overrides`` replace any derived argument.
+    """
+    key = _normalize(name)
+    params = strategy_params_from_config(key, config, n_assets, **overrides)
     return DEFAULT_REGISTRY.create(key, **params)

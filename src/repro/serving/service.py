@@ -33,7 +33,7 @@ import numpy as np
 
 from ..agents.base import Agent, concat_states
 from ..autograd import no_grad
-from ..data.market import MarketData
+from ..data.market import MarketData, market_from_state, market_to_state
 from ..envs.costs import DEFAULT_COMMISSION
 from ..envs.observations import ObservationConfig
 from ..envs.portfolio import normalize_action
@@ -41,8 +41,11 @@ from ..registry import DEFAULT_REGISTRY, StrategyRegistry
 from ..snn.neurons import LIFParameters
 from ..utils.serialization import (
     PathLike,
+    decode_tagged,
+    encode_tagged,
     load_json,
     load_state_dict,
+    register_tagged_type,
     save_json,
     save_state_dict,
 )
@@ -65,56 +68,23 @@ class InvalidStrategyOutput(ValueError):
 
 # ----------------------------------------------------------------------
 # Spec (de)serialisation: strategy params may contain the repo's config
-# dataclasses; encode them with a type tag so specs round-trip JSON.
+# dataclasses; the shared tagged codec (repro.utils.serialization)
+# encodes them with a type tag so specs round-trip JSON.  The same codec
+# is what the experiment artifact store writes, which is why serving can
+# load strategies straight out of sweep artifacts.
 
-_TAGGED_TYPES = {
-    "ObservationConfig": ObservationConfig,
-    "LIFParameters": LIFParameters,
-}
+register_tagged_type(ObservationConfig)
+register_tagged_type(LIFParameters)
 
-
-def _encode_value(value: Any) -> Any:
-    if isinstance(value, (ObservationConfig, LIFParameters)):
-        payload = {k: _encode_value(v) for k, v in asdict(value).items()}
-        payload["__type__"] = type(value).__name__
-        return payload
-    if isinstance(value, (np.floating, np.integer)):
-        return value.item()
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, dict):
-        return {str(k): _encode_value(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_encode_value(v) for v in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise TypeError(
-        f"strategy param of type {type(value).__name__} is not checkpointable"
-    )
+_encode_value = encode_tagged
+_decode_value = decode_tagged
 
 
 def decode_params(params: Any) -> Any:
     """Decode a JSON params payload, resolving tagged config objects
     (``{"__type__": "ObservationConfig", ...}``) — the same codec
     checkpoints use, exposed for the HTTP layer."""
-    return _decode_value(params)
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict):
-        tag = value.get("__type__")
-        if tag is not None:
-            cls = _TAGGED_TYPES.get(tag)
-            if cls is None:
-                raise ValueError(f"unknown tagged type {tag!r} in checkpoint")
-            kwargs = {
-                k: _decode_value(v) for k, v in value.items() if k != "__type__"
-            }
-            return cls(**kwargs)
-        return {k: _decode_value(v) for k, v in value.items()}
-    if isinstance(value, list):
-        return [_decode_value(v) for v in value]
-    return value
+    return decode_tagged(params)
 
 
 def _canonical_key(strategy: str, params: Dict[str, Any]) -> Optional[str]:
@@ -131,30 +101,9 @@ def _canonical_key(strategy: str, params: Dict[str, Any]) -> Optional[str]:
         return None
 
 
-def _market_to_state(data: MarketData) -> Dict[str, np.ndarray]:
-    return {
-        "timestamps": data.timestamps,
-        "open": data.open,
-        "high": data.high,
-        "low": data.low,
-        "close": data.close,
-        "volume": data.volume,
-        "period_seconds": np.array(data.period_seconds, dtype=np.int64),
-        "names": np.array([str(n) for n in data.names]),
-    }
-
-
-def _market_from_state(state: Dict[str, np.ndarray]) -> MarketData:
-    return MarketData(
-        timestamps=state["timestamps"],
-        names=[str(n) for n in state["names"]],
-        open=state["open"],
-        high=state["high"],
-        low=state["low"],
-        close=state["close"],
-        volume=state["volume"],
-        period_seconds=int(state["period_seconds"]),
-    )
+# Panel (de)serialisation is shared with the artifact store.
+_market_to_state = market_to_state
+_market_from_state = market_from_state
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +261,8 @@ class PortfolioService:
         data: Optional[MarketData] = None,
         observation: Optional[ObservationConfig] = None,
         start: Optional[int] = None,
+        agent: Optional[Agent] = None,
+        agent_key: Optional[str] = None,
     ) -> SessionInfo:
         """Open a session serving ``strategy`` over a market panel.
 
@@ -321,8 +272,18 @@ class PortfolioService:
         automatically when the params omit it.  ``start`` overrides the
         first decision index (default: the observation's earliest index
         with a full window, matching ``run_backtest``).
+
+        A *prebuilt* ``agent`` (e.g. one trained elsewhere, or loaded
+        from an experiment artifact — see
+        :meth:`create_session_from_artifact`) bypasses registry
+        construction; ``strategy``/``params`` still describe it so
+        checkpoints can rebuild it.  Stateless prebuilt agents sharing
+        the same ``agent_key`` are shared across sessions like
+        registry-built ones; without a key the agent stays private to
+        this session.
         """
         params = dict(params or {})
+        prebuilt = agent
         with self._lock:
             if session_id in self._sessions:
                 raise ValueError(f"session {session_id!r} already exists")
@@ -346,7 +307,7 @@ class PortfolioService:
                     f"{', '.join(self.registry.names())}"
                 )
             agent, agent_key, shared, build_params = self._resolve_agent(
-                strategy, params, panel
+                strategy, params, panel, prebuilt=prebuilt, prebuilt_key=agent_key
             )
             obs = observation
             if obs is None:
@@ -395,8 +356,57 @@ class PortfolioService:
             self.stats.sessions_created += 1
             return self._info(session)
 
+    def create_session_from_artifact(
+        self,
+        session_id: str,
+        store,
+        shard_id: str,
+        market: Optional[str] = None,
+        data: Optional[MarketData] = None,
+        observation: Optional[ObservationConfig] = None,
+        start: Optional[int] = None,
+    ) -> SessionInfo:
+        """Open a session serving a strategy trained by the sweep engine.
+
+        ``store`` is an :class:`~repro.experiments.ArtifactStore` (or
+        its root path); the shard's persisted constructor params rebuild
+        the exact agent and its trained weights are loaded — the same
+        checkpoint-loading path the experiment layer uses.  Sessions
+        created from the same shard share one agent instance (stateless
+        strategies), so a fleet of live portfolios serving one trained
+        policy micro-batches into single forwards.
+        """
+        from ..experiments.artifacts import ArtifactStore
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        # json-only spec read; the warm path (agent already shared from
+        # an earlier session on this shard) never touches the npz files.
+        spec = store.load_strategy_spec(shard_id)
+        key = f"artifact:{Path(store.root).resolve()}:{shard_id}"
+        with self._lock:
+            agent = self._shared_agents.get(f"!{key}")
+        if agent is None:
+            agent = store.load_agent(shard_id, registry=self.registry)
+        return self.create_session(
+            session_id,
+            strategy=spec["strategy"],
+            params=spec["params"],
+            market=market,
+            data=data,
+            observation=observation,
+            start=start,
+            agent=agent,
+            agent_key=key,
+        )
+
     def _resolve_agent(
-        self, strategy: str, params: Dict[str, Any], panel: MarketData
+        self,
+        strategy: str,
+        params: Dict[str, Any],
+        panel: MarketData,
+        prebuilt: Optional[Agent] = None,
+        prebuilt_key: Optional[str] = None,
     ) -> Tuple[Agent, str, bool, Dict[str, Any]]:
         """Construct (or share) the strategy instance for a session.
 
@@ -410,6 +420,23 @@ class PortfolioService:
             strategy
         ):
             build_params["n_assets"] = panel.n_assets
+        if prebuilt is not None:
+            n = getattr(prebuilt, "n_assets", None)
+            if n is not None and int(n) != panel.n_assets:
+                raise ValueError(
+                    f"prebuilt agent serves {int(n)} assets but the panel "
+                    f"has {panel.n_assets}"
+                )
+            if prebuilt.stateless and prebuilt_key is not None:
+                # Keyed prebuilt agents share like canonical ones; the
+                # "!" prefix keeps the key out of spec-canonical space.
+                key = f"!{prebuilt_key}"
+                existing = self._shared_agents.get(key)
+                if existing is not None:
+                    return existing, key, True, build_params
+                return prebuilt, key, True, build_params
+            self._private_seq += 1
+            return prebuilt, f"!private:{self._private_seq}", False, build_params
         canonical = _canonical_key(strategy, build_params)
         if canonical is not None and canonical in self._shared_agents:
             return self._shared_agents[canonical], canonical, True, build_params
@@ -732,6 +759,15 @@ class PortfolioService:
                         },
                         "weights": weights_file,
                         "shared": session.shared,
+                        # Shared agents must be republished on load under
+                        # the key they were shared by: spec-canonical for
+                        # registry-built agents, the explicit "!"-key for
+                        # prebuilt/artifact agents.  Restoring an
+                        # artifact agent under the spec-canonical key
+                        # would hand its trained weights to later plain
+                        # same-spec sessions (and collapse distinct
+                        # shards with identical constructor params).
+                        "agent_key": session.agent_key if session.shared else None,
                     }
                 sessions_payload.append(
                     {
@@ -785,13 +821,17 @@ class PortfolioService:
                     load_state_dict(path / entry["weights"])
                 )
             shared = bool(entry["shared"])
-            canonical = _canonical_key(spec["strategy"], spec["params"])
+            # Older checkpoints (no "agent_key") shared under the
+            # spec-canonical key only; keep that as the fallback.
+            shared_key = entry.get("agent_key") or _canonical_key(
+                spec["strategy"], spec["params"]
+            )
             if shared:
-                service._shared_agents[canonical] = agent
-            agents[key] = (agent, spec, shared, canonical)
+                service._shared_agents[shared_key] = agent
+            agents[key] = (agent, spec, shared, shared_key)
 
         for payload in manifest["sessions"]:
-            agent, spec, shared, canonical = agents[payload["agent"]]
+            agent, spec, shared, shared_key = agents[payload["agent"]]
             panel = markets[payload["market"]]
             observation = _decode_value(payload["observation"])
             if not shared:
@@ -802,7 +842,7 @@ class PortfolioService:
                 agent=agent,
                 # Stateful agents need per-instance keys, or the next
                 # save would dedup same-spec sessions onto one agent.
-                agent_key=canonical if shared else f"!private:{service._private_seq}",
+                agent_key=shared_key if shared else f"!private:{service._private_seq}",
                 shared=shared,
                 market=payload["market"],
                 data=panel,

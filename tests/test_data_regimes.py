@@ -70,6 +70,30 @@ class TestSchedule:
         with pytest.raises(ValueError):
             RegimeSchedule([])
 
+    def test_labels_vectorised(self):
+        sched = RegimeSchedule([("2020/01/01", BULL), ("2020/06/01", BEAR)])
+        epochs = np.array(
+            [parse_date("2020/02/01"), parse_date("2020/07/01"),
+             parse_date("2020/03/01")]
+        )
+        assert sched.labels(epochs) == ["bull", "bear", "bull"]
+
+    def test_segments_contiguous_runs(self):
+        sched = RegimeSchedule([("2020/01/01", BULL), ("2020/03/01", BEAR)])
+        day = 86400
+        t0 = parse_date("2020/02/27")
+        epochs = np.array([t0 + i * day for i in range(6)])
+        segments = sched.segments(epochs)
+        assert segments == [("bull", 0, 3), ("bear", 3, 6)]
+        # Segments partition the index range.
+        assert segments[0][2] == segments[1][1]
+
+    def test_segments_single_regime_and_empty(self):
+        sched = RegimeSchedule([("2020/01/01", BULL)])
+        epochs = np.array([parse_date("2020/02/01"), parse_date("2020/03/01")])
+        assert sched.segments(epochs) == [("bull", 0, 2)]
+        assert sched.segments(np.array([], dtype=np.int64)) == []
+
     def test_default_calendar_narrative(self):
         sched = default_crypto_schedule()
         # 2017 mania, 2018 winter, 2020 covid crash, 2021 mania.

@@ -10,6 +10,7 @@ from repro.data import (
     get_window,
     parse_date,
     top_volume_assets,
+    walk_forward_windows,
 )
 
 
@@ -83,3 +84,66 @@ class TestSplit:
         w = ExperimentWindow(9, "2019/01/05", "2019/04/01", "2019/05/20")
         train, _ = w.split(panel)
         assert train.timestamps[-1] < parse_date("2019/04/01")
+
+
+class TestWalkForward:
+    def test_rolling_folds(self):
+        folds = walk_forward_windows(
+            "2020/01/01", "2021/01/01", train_days=120, test_days=60
+        )
+        assert [f.experiment for f in folds] == list(range(len(folds)))
+        assert len(folds) == 4  # test starts: 04/30, 06/29, 08/28, 10/27
+        day = 86400
+        for fold in folds:
+            assert (
+                parse_date(fold.test_start) - parse_date(fold.train_start)
+                == 120 * day
+            )
+            assert (
+                parse_date(fold.test_end) - parse_date(fold.test_start)
+                == 60 * day
+            )
+        # Back-to-back, non-overlapping test windows by default.
+        for a, b in zip(folds, folds[1:]):
+            assert a.test_end == b.test_start
+        # Every fold's full test span fits in the overall range.
+        assert parse_date(folds[-1].test_end) <= parse_date("2021/01/01")
+
+    def test_anchored_folds_expand(self):
+        folds = walk_forward_windows(
+            "2020/01/01", "2021/01/01", train_days=120, test_days=60,
+            anchored=True,
+        )
+        assert all(f.train_start == "2020/01/01" for f in folds)
+        spans = [
+            parse_date(f.test_start) - parse_date(f.train_start) for f in folds
+        ]
+        assert spans == sorted(spans) and spans[0] < spans[-1]
+
+    def test_step_days_overlap(self):
+        folds = walk_forward_windows(
+            "2020/01/01", "2020/12/01", train_days=90, test_days=60,
+            step_days=30,
+        )
+        for a, b in zip(folds, folds[1:]):
+            assert (
+                parse_date(b.test_start) - parse_date(a.test_start)
+                == 30 * 86400
+            )
+
+    def test_too_short_span(self):
+        with pytest.raises(ValueError):
+            walk_forward_windows(
+                "2020/01/01", "2020/03/01", train_days=90, test_days=30
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            walk_forward_windows(
+                "2020/01/01", "2021/01/01", train_days=0, test_days=30
+            )
+        with pytest.raises(ValueError):
+            walk_forward_windows(
+                "2020/01/01", "2021/01/01", train_days=30, test_days=30,
+                step_days=-1,
+            )

@@ -1,0 +1,163 @@
+"""Unit tests for walk-forward evaluation and per-regime attribution."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MarketGenerator,
+    top_volume_assets,
+    walk_forward_windows,
+)
+from repro.data.regimes import BEAR, BULL, RegimeSchedule, parse_date
+from repro.experiments import (
+    WalkForwardEvaluator,
+    make_config,
+    per_regime_metrics,
+    render_regime_table,
+    render_walkforward_table,
+)
+
+
+class TestPerRegimeMetrics:
+    def test_known_split(self):
+        day = 86400
+        t0 = parse_date("2020/01/01")
+        schedule = RegimeSchedule(
+            [("2020/01/01", BULL), ("2020/01/03", BEAR)]
+        )
+        timestamps = np.array([t0 + i * day for i in range(5)])
+        # Returns: +10%, +10% (bull) then -50%, x2 (bear).
+        values = np.array([1.0, 1.1, 1.21, 0.605, 1.21])
+        out = per_regime_metrics(values, timestamps, schedule)
+        assert set(out) == {"bull", "bear"}
+        assert out["bull"]["fapv"] == pytest.approx(1.21)
+        assert out["bull"]["periods"] == 2
+        assert out["bull"]["mdd"] == 0.0
+        assert out["bear"]["fapv"] == pytest.approx(1.0)
+        assert out["bear"]["mdd"] == pytest.approx(0.5)
+        assert out["bear"]["periods"] == 2
+
+    def test_regime_fapvs_compound_to_total(self):
+        rng = np.random.default_rng(3)
+        day = 86400
+        t0 = parse_date("2020/01/01")
+        schedule = RegimeSchedule(
+            [("2020/01/01", BULL), ("2020/02/01", BEAR)]
+        )
+        values = np.cumprod(1 + rng.normal(0, 0.02, size=60))
+        timestamps = np.array([t0 + i * day for i in range(60)])
+        out = per_regime_metrics(values, timestamps, schedule)
+        total = np.prod([m["fapv"] for m in out.values()])
+        assert total == pytest.approx(values[-1] / values[0])
+
+    def test_shape_mismatch(self):
+        schedule = RegimeSchedule([("2020/01/01", BULL)])
+        with pytest.raises(ValueError):
+            per_regime_metrics(np.ones(3), np.zeros(4), schedule)
+
+    def test_degenerate_series(self):
+        schedule = RegimeSchedule([("2020/01/01", BULL)])
+        assert per_regime_metrics(
+            np.ones(1), np.array([parse_date("2020/01/02")]), schedule
+        ) == {}
+
+
+@pytest.fixture(scope="module")
+def wf_setup():
+    config = make_config(1, profile="quick", train_steps=4, batch_size=16)
+    full = MarketGenerator(seed=config.market_seed).generate(
+        "2019/01/01", "2019/10/01", config.period_seconds
+    )
+    folds = walk_forward_windows(
+        "2019/01/01", "2019/10/01", train_days=75, test_days=45
+    )
+    assets = top_volume_assets(full, folds[0].test_start, k=config.num_assets)
+    return config, full.select_assets(assets), folds
+
+
+@pytest.fixture(scope="module")
+def wf_report(wf_setup):
+    config, panel, folds = wf_setup
+    evaluator = WalkForwardEvaluator(
+        panel,
+        folds,
+        config,
+        strategies=("sdp", "ucrp"),
+        seeds=(1, 2),
+        fine_tune_steps=2,
+    )
+    return evaluator.run()
+
+
+class TestWalkForwardEvaluator:
+    def test_record_counts(self, wf_setup, wf_report):
+        _, _, folds = wf_setup
+        sdp = [r for r in wf_report.records if r.strategy == "sdp"]
+        ucrp = [r for r in wf_report.records if r.strategy == "ucrp"]
+        # Learned: one pass per seed; classical: deterministic, one pass.
+        assert len(sdp) == 2 * len(folds)
+        assert len(ucrp) == len(folds)
+
+    def test_metrics_finite_and_regimes_consistent(self, wf_report):
+        for rec in wf_report.records:
+            assert np.isfinite(rec.metrics["fapv"])
+            assert 0 <= rec.metrics["mdd"] < 1
+            assert rec.regimes
+            total = np.prod([m["fapv"] for m in rec.regimes.values()])
+            assert total == pytest.approx(rec.metrics["fapv"])
+
+    def test_fold_aggregates(self, wf_setup, wf_report):
+        _, _, folds = wf_setup
+        rows = wf_report.fold_aggregates()
+        assert len(rows) == 2 * len(folds)
+        for row in rows:
+            if row["strategy"] == "sdp":
+                assert row["seeds"] == 2
+            else:
+                assert row["seeds"] == 1
+            assert row["mdd_std"] >= 0
+
+    def test_regime_aggregates(self, wf_report):
+        rows = wf_report.regime_aggregates()
+        assert rows
+        strategies = {row["strategy"] for row in rows}
+        assert strategies == {"sdp", "ucrp"}
+        for row in rows:
+            assert row["periods"] > 0
+
+    def test_tables_render(self, wf_report):
+        fold_table = render_walkforward_table(wf_report)
+        regime_table = render_regime_table(wf_report)
+        assert "Walk-forward evaluation" in fold_table
+        assert "±" in fold_table
+        assert "Per-regime attribution" in regime_table
+
+    def test_validation(self, wf_setup):
+        config, panel, folds = wf_setup
+        with pytest.raises(ValueError):
+            WalkForwardEvaluator(panel, [], config)
+        with pytest.raises(ValueError):
+            WalkForwardEvaluator(panel, folds, config, seeds=())
+        with pytest.raises(ValueError):
+            WalkForwardEvaluator(panel, folds, config, fine_tune_steps=-1)
+
+    def test_fine_tuning_changes_later_folds(self, wf_setup):
+        # With fine-tuning off, fold k>0 reuses fold-0 weights verbatim;
+        # with it on, later folds must diverge (the weights moved).
+        config, panel, folds = wf_setup
+        frozen = WalkForwardEvaluator(
+            panel, folds[:2], config, strategies=("sdp",), seeds=(1,),
+            fine_tune_steps=0,
+        ).run()
+        tuned = WalkForwardEvaluator(
+            panel, folds[:2], config, strategies=("sdp",), seeds=(1,),
+            fine_tune_steps=4,
+        ).run()
+        assert (
+            frozen.records[0].metrics["fapv"]
+            == tuned.records[0].metrics["fapv"]
+        )
+        assert (
+            frozen.records[1].metrics["fapv"]
+            != tuned.records[1].metrics["fapv"]
+        )
