@@ -11,6 +11,12 @@ serving-relevant workloads plus the training loop:
   ``--sessions`` concurrent sessions on one shared panel, decided per
   round through ``rebalance_many`` (micro-batched, panel-grouped
   ``prepare_states``) and, for contrast, one-by-one ``rebalance`` calls.
+* **execution** — the fused batched back-test run through the
+  execution layer: no engine (today's default), a ``ZeroSlippage``
+  engine (must be bit-identical — the layer's zero-cost invariant),
+  and the linear / square-root / depth-limited impact models, so the
+  per-decision cost of liquidity-aware execution is on the perf
+  trajectory.
 * **training** — ``PolicyTrainer`` minibatch steps on a SharedSDP agent
   three ways: the *seed* path (closure-graph forward/backward plus the
   seed's allocating prologue — ``select_assets`` with full-panel
@@ -329,6 +335,85 @@ def bench_training(panel, n_steps: int) -> Dict:
     }
 
 
+def bench_execution(panels, n_assets: int) -> Dict:
+    """Decisions/sec of the batched back-test across execution regimes.
+
+    The ``zero`` path is the parity gate: an explicit ``ZeroSlippage``
+    engine must reproduce the no-engine run bit for bit (values,
+    weights, and μ trajectories).
+    """
+    from repro.execution import (
+        DepthLimited,
+        ExecutionEngine,
+        LinearImpact,
+        SquareRootImpact,
+        ZeroSlippage,
+    )
+
+    agent = SDPAgent(n_assets, observation=OBSERVATION, **AGENT_PARAMS)
+    engines = [
+        ("execution_none", None),
+        ("execution_zero", ExecutionEngine(ZeroSlippage())),
+        (
+            "execution_linear",
+            ExecutionEngine(LinearImpact(10.0), portfolio_notional=1e6),
+        ),
+        (
+            "execution_sqrt",
+            ExecutionEngine(SquareRootImpact(1.0), portfolio_notional=1e6),
+        ),
+        (
+            "execution_depth",
+            ExecutionEngine(DepthLimited(0.01, 10.0), portfolio_notional=1e7),
+        ),
+    ]
+    paths = []
+    results = {}
+    for name, engine in engines:
+        backtester = Backtester(observation=OBSERVATION, execution=engine)
+        with _TimedDecide(agent, agent.network.forward_inference) as timer:
+            t0 = time.perf_counter()
+            results[name] = backtester.run_many(agent, panels)
+            seconds = time.perf_counter() - t0
+            latencies = timer.latencies
+        decisions = sum(len(r.weights) for r in results[name])
+        paths.append(_stats(name, decisions, seconds, latencies))
+
+    identical = all(
+        np.array_equal(a.values, b.values)
+        and np.array_equal(a.weights, b.weights)
+        and np.array_equal(a.mus, b.mus)
+        for a, b in zip(results["execution_none"], results["execution_zero"])
+    )
+    none_s = paths[0]["seconds"]
+    return {
+        "models": {
+            "linear": "LinearImpact(10.0) @ notional 1e6",
+            "sqrt": "SquareRootImpact(1.0) @ notional 1e6",
+            "depth": "DepthLimited(0.01, 10.0) @ notional 1e7",
+        },
+        "paths": paths,
+        "zero_bit_identical": bool(identical),
+        "overhead_zero_vs_none": round(paths[1]["seconds"] / none_s, 2),
+        "overhead_linear_vs_none": round(paths[2]["seconds"] / none_s, 2),
+        "overhead_depth_vs_none": round(paths[4]["seconds"] / none_s, 2),
+        "mean_shortfall": {
+            name: round(
+                float(
+                    np.mean(
+                        [
+                            r.extra.get("implementation_shortfall", 0.0)
+                            for r in results[name]
+                        ]
+                    )
+                ),
+                6,
+            )
+            for name in ("execution_linear", "execution_sqrt", "execution_depth")
+        },
+    }
+
+
 def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     params = {"observation": OBSERVATION, **AGENT_PARAMS}
 
@@ -416,6 +501,7 @@ def main(argv=None) -> int:
 
     panels = make_panels(args.panels, args.assets)
     backtest = bench_backtest(panels, args.assets)
+    execution = bench_execution(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
     training = bench_training(make_training_panel(args.assets), args.train_steps)
 
@@ -429,12 +515,13 @@ def main(argv=None) -> int:
             "network": "SharedSDP (128, 128), T=5",
         },
         "backtest": backtest,
+        "execution": execution,
         "serving": serving,
         "training": training,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    for section in ("backtest", "serving"):
+    for section in ("backtest", "execution", "serving"):
         for path in report[section]["paths"]:
             print(
                 f"{path['name']:32s} {path['decisions_per_sec']:>9.1f} dec/s   "
@@ -456,6 +543,13 @@ def main(argv=None) -> int:
         f"bit-identical: {serving['weights_bit_identical']}"
     )
     print(
+        f"execution overhead (zero/linear/depth vs none): "
+        f"{execution['overhead_zero_vs_none']}x / "
+        f"{execution['overhead_linear_vs_none']}x / "
+        f"{execution['overhead_depth_vs_none']}x; "
+        f"zero bit-identical: {execution['zero_bit_identical']}"
+    )
+    print(
         f"training speedup (fused vs seed): "
         f"{training['speedup_fused_vs_seed']}x "
         f"(vs current graph path: {training['speedup_fused_vs_graph']}x); "
@@ -469,6 +563,7 @@ def main(argv=None) -> int:
             backtest["weights_bit_identical"]
             and serving["weights_bit_identical"]
             and training["weights_bit_identical"]
+            and execution["zero_bit_identical"]
         )
         if not ok:
             print("PARITY MISMATCH: fused path diverged from graph path", file=sys.stderr)

@@ -9,6 +9,8 @@ substrate the paper depends on:
 * :mod:`repro.snn` — population coding, two-state LIF, STBP (Alg. 1)
 * :mod:`repro.data` — synthetic Poloniex-like crypto market, 2016–2021
 * :mod:`repro.envs` — the Jiang-framework PM environment (eq. (1))
+* :mod:`repro.execution` — liquidity-aware execution & slippage
+  simulation (impact models, partial fills, implementation shortfall)
 * :mod:`repro.agents` — the SDP agent + the DRL[Jiang] EIIE baseline
 * :mod:`repro.baselines` — ONS, Best Stock, ANTICOR, M0, UCRP, UBAH
 * :mod:`repro.loihi` — 8-bit quantization (eq. (14)), fixed-point chip
@@ -61,6 +63,7 @@ from . import (
     baselines,
     data,
     envs,
+    execution,
     experiments,
     loihi,
     metrics,
@@ -77,6 +80,7 @@ __all__ = [
     "baselines",
     "data",
     "envs",
+    "execution",
     "experiments",
     "loihi",
     "metrics",

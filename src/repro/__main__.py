@@ -3,8 +3,9 @@
 Thin argparse over the experiment engine and the existing entry points:
 
 * ``run``          — one Table 3 experiment end to end (+ tables)
-* ``sweep``        — a seeds × strategies × windows × costs grid on the
-  sharded engine, with checkpoint/resume into an artifact store
+* ``sweep``        — a seeds × strategies × windows × costs × execution
+  grid on the sharded engine, with checkpoint/resume into an artifact
+  store
 * ``walkforward``  — rolling train/test evaluation with per-fold and
   per-regime aggregate tables
 * ``bench``        — delegate to a benchmark script (default:
@@ -89,6 +90,53 @@ def _parse_costs(specs: Sequence[str]) -> Tuple:
     return tuple(regimes)
 
 
+def _parse_execution_spec(item: str, name: str = None):
+    """``model[:coef[:cap[:notional]]]`` → :class:`ExecutionRegime`."""
+    from .experiments import ExecutionRegime
+
+    parts = item.split(":")
+    model = parts[0]
+    kwargs = {}
+    try:
+        if len(parts) > 1:
+            kwargs["impact_coef"] = float(parts[1])
+        if len(parts) > 2:
+            kwargs["max_participation"] = float(parts[2])
+        if len(parts) > 3:
+            kwargs["portfolio_notional"] = float(parts[3])
+    except ValueError:
+        raise SystemExit(
+            f"execution specs look like model[:coef[:cap[:notional]]] "
+            f"(got {item!r})"
+        ) from None
+    if len(parts) > 4:
+        raise SystemExit(
+            f"execution specs look like model[:coef[:cap[:notional]]] "
+            f"(got {item!r})"
+        )
+    try:
+        return ExecutionRegime(name if name is not None else model, model, **kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _parse_executions(specs: Sequence[str]) -> Tuple:
+    from .experiments import DEFAULT_EXECUTION_REGIMES
+
+    if not specs:
+        return DEFAULT_EXECUTION_REGIMES
+    regimes = []
+    for item in specs:
+        if "=" not in item:
+            raise SystemExit(
+                f"--executions entries look like "
+                f"name=model[:coef[:cap[:notional]]] (got {item!r})"
+            )
+        name, rest = item.split("=", 1)
+        regimes.append(_parse_execution_spec(rest, name))
+    return tuple(regimes)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import ExperimentSpec, SweepRunner, render_sweep_table
 
@@ -99,6 +147,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         strategies=tuple(args.strategies),
         seeds=tuple(args.seeds),
         cost_regimes=_parse_costs(args.costs),
+        execution_regimes=_parse_executions(args.executions),
         overrides=tuple(_overrides(args).items()),
     )
     runner = SweepRunner(spec, args.store, max_workers=args.workers)
@@ -138,6 +187,11 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
     # fold's test span.
     assets = top_volume_assets(full, folds[0].test_start, k=config.num_assets)
     panel = full.select_assets(assets)
+    execution = None
+    if args.execution is not None:
+        execution = _parse_execution_spec(args.execution).build_engine(
+            config.commission
+        )
     evaluator = WalkForwardEvaluator(
         panel,
         folds,
@@ -145,6 +199,7 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
         strategies=tuple(args.strategies),
         seeds=tuple(args.seeds),
         fine_tune_steps=args.fine_tune_steps,
+        execution=execution,
     )
     report = evaluator.run()
     print(render_walkforward_table(report))
@@ -236,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--costs", nargs="+", default=[],
         help="cost regimes as name=rate (default: paper=0.0025)",
     )
+    p_sweep.add_argument(
+        "--executions", nargs="+", default=[],
+        help="execution regimes as name=model[:coef[:cap[:notional]]], "
+        "model one of zero|linear|sqrt|depth (default: ideal=zero)",
+    )
     p_sweep.add_argument("--workers", type=int, default=None)
     p_sweep.add_argument("--serial", action="store_true", help="no process pool")
     p_sweep.add_argument(
@@ -256,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_wf.add_argument("--strategies", nargs="+", default=["sdp", "jiang", "ucrp"])
     p_wf.add_argument("--seeds", type=int, nargs="+", default=[7])
     p_wf.add_argument("--fine-tune-steps", type=int, default=0)
+    p_wf.add_argument(
+        "--execution", default=None,
+        help="execution regime as model[:coef[:cap[:notional]]] "
+        "(zero|linear|sqrt|depth; default: ideal fills)",
+    )
     p_wf.set_defaults(func=_cmd_walkforward)
 
     p_bench = sub.add_parser("bench", help="run a benchmark script")

@@ -105,15 +105,19 @@ def run_backtest(
     observation: Optional[ObservationConfig] = None,
     commission: float = DEFAULT_COMMISSION,
     initial_value: float = 1.0,
+    execution=None,
 ) -> BacktestResult:
     """Back-test ``agent`` over ``data`` and compute Table 3 metrics.
 
     Thin wrapper over :class:`~repro.envs.backtester.Backtester` kept
-    for backward compatibility (and convenience).
+    for backward compatibility (and convenience).  ``execution`` is an
+    optional :class:`~repro.execution.ExecutionEngine`; when set the
+    result's ``extra`` carries implementation-shortfall metrics.
     """
     engine = Backtester(
         observation=observation,
         commission=commission,
         initial_value=initial_value,
+        execution=execution,
     )
     return engine.run(agent, data)

@@ -79,6 +79,15 @@ class CoinSpec:
     liquidity:
         Baseline daily traded volume in quote units; drives the
         volume-ranked universe selection.
+    depth:
+        Order-book depth multiplier on the printed volume: the fraction
+        of a candle's volume actually tradable without walking the book
+        (1.0 = everything prints at the touch).  Scales the generated
+        volume panel, so the execution layer's ADV-based participation
+        (and its regime coupling through ``volume_multiplier`` and the
+        realised-|return| activity term) inherits it; the default 1.0
+        leaves generated panels bit-identical to the pre-execution
+        subsystem.
     initial_price:
         Price at the start of generated history.
     alt_loading:
@@ -94,6 +103,7 @@ class CoinSpec:
     jump_rate: float = 10.0
     jump_scale: float = 0.04
     liquidity: float = 1e6
+    depth: float = 1.0
     initial_price: float = 100.0
     alt_loading: float = 1.0
 
@@ -102,6 +112,8 @@ class CoinSpec:
             raise ValueError(f"idio_vol must be positive ({self.name})")
         if self.liquidity <= 0 or self.initial_price <= 0:
             raise ValueError(f"liquidity/initial_price must be positive ({self.name})")
+        if self.depth <= 0:
+            raise ValueError(f"depth must be positive ({self.name})")
 
 
 def default_universe() -> List[CoinSpec]:
@@ -364,4 +376,6 @@ class MarketGenerator:
         lognoise = np.exp(sigma_v * rng.standard_normal(n) - 0.5 * sigma_v ** 2)
         typical_move = coin.idio_vol * np.sqrt(dt)
         activity = 1.0 + 1.5 * np.abs(log_returns) / max(typical_move, 1e-12)
-        return base * regime_multiplier * lognoise * activity
+        # depth scales tradable volume; 1.0 (the default) is an exact
+        # float no-op, keeping default panels bit-identical.
+        return (base * regime_multiplier * lognoise * activity) * coin.depth

@@ -277,6 +277,29 @@ class MarketData:
         start = np.maximum(np.arange(self.n_periods) + 1 - window_periods, 0)
         return csum[1:] - csum[start]
 
+    def adv_panel(self, window_periods: Optional[int] = None) -> np.ndarray:
+        """Trailing *average* per-period volume, cached per window.
+
+        Entry ``[t, i]`` is asset ``i``'s mean volume over the
+        ``window_periods`` periods ending at (and including) ``t``
+        (expanding at history start) — the per-period tradable-volume
+        input the execution layer's impact models consume.  Default
+        window: one day of periods.  Sits on the back-test/serving hot
+        path, hence the per-window cache.
+        """
+        if window_periods is None:
+            window_periods = max(int(86_400 / self.period_seconds), 1)
+        if window_periods <= 0:
+            raise ValueError("window_periods must be positive")
+        counts = np.minimum(
+            np.arange(1, self.n_periods + 1), window_periods
+        )[:, None]
+        return self._cached_panel(
+            f"_adv_panel_cache_{window_periods}",
+            (self.volume,),
+            lambda: self.rolling_volume(window_periods) / counts,
+        )
+
     def resample(self, factor: int) -> "MarketData":
         """Aggregate ``factor`` consecutive periods into one candle."""
         if factor <= 0:

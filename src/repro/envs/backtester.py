@@ -107,6 +107,11 @@ class Backtester:
         Per-side commission rate for the exact μ_t computation.
     initial_value:
         Starting portfolio value p_0.
+    execution:
+        Optional :class:`~repro.execution.ExecutionEngine`; when set,
+        every environment this engine builds prices rebalances against
+        market liquidity and results carry implementation-shortfall
+        metrics in :attr:`BacktestResult.extra`.
     """
 
     def __init__(
@@ -114,10 +119,12 @@ class Backtester:
         observation: Optional[ObservationConfig] = None,
         commission: float = DEFAULT_COMMISSION,
         initial_value: float = 1.0,
+        execution=None,
     ):
         self.observation = observation if observation is not None else ObservationConfig()
         self.commission = float(commission)
         self.initial_value = float(initial_value)
+        self.execution = execution
 
     # ------------------------------------------------------------------
     def make_env(self, data: MarketData) -> PortfolioEnv:
@@ -127,6 +134,7 @@ class Backtester:
             observation=self.observation,
             commission=self.commission,
             initial_value=self.initial_value,
+            execution=self.execution,
         )
 
     def _result(self, agent_name: str, env: PortfolioEnv, data: MarketData) -> BacktestResult:
@@ -138,6 +146,7 @@ class Backtester:
             rewards=np.asarray(env.reward_history),
             mus=np.asarray(env.mu_history),
             metrics=metrics,
+            extra=env.execution_summary(),
         )
 
     # ------------------------------------------------------------------

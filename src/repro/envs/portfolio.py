@@ -16,17 +16,21 @@ this same loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.market import MarketData
+from ..metrics.performance import implementation_shortfall
 from .costs import (
     DEFAULT_COMMISSION,
     drifted_weights,
     transaction_remainder_exact,
 )
 from .observations import ObservationConfig
+
+if TYPE_CHECKING:  # execution imports envs.costs; keep the cycle type-only
+    from ..execution import ExecutionEngine
 
 
 def normalize_action(action: np.ndarray, action_dim: int, context: str = "action") -> np.ndarray:
@@ -83,6 +87,12 @@ class PortfolioEnv:
         Per-side commission rate for the exact μ_t computation.
     initial_value:
         Starting portfolio value p_0.
+    execution:
+        Optional :class:`~repro.execution.ExecutionEngine` pricing each
+        rebalance against market liquidity (impact cost, partial
+        fills).  ``None`` (the default) keeps the commission-only path
+        untouched; an engine with a zero-cost model is bit-identical to
+        it.
 
     Timeline
     --------
@@ -98,6 +108,7 @@ class PortfolioEnv:
         observation: Optional[ObservationConfig] = None,
         commission: float = DEFAULT_COMMISSION,
         initial_value: float = 1.0,
+        execution: Optional["ExecutionEngine"] = None,
     ):
         if initial_value <= 0:
             raise ValueError("initial_value must be positive")
@@ -105,6 +116,16 @@ class PortfolioEnv:
         self.observation = observation if observation is not None else ObservationConfig()
         self.commission = float(commission)
         self.initial_value = float(initial_value)
+        if execution is not None and execution.commission != self.commission:
+            # With an engine, μ_t comes from the engine's fixed point —
+            # a silently different rate there would desync fAPV from
+            # the engine-less run of the same configuration.
+            raise ValueError(
+                f"execution engine charges commission "
+                f"{execution.commission}, environment expects "
+                f"{self.commission}; build the engine with the same rate"
+            )
+        self.execution = execution
         first = self.observation.first_decision_index()
         if first >= data.n_periods - 1:
             raise ValueError(
@@ -147,12 +168,17 @@ class PortfolioEnv:
         """Start a new episode; returns the first decision index."""
         self._t = self._first_decision
         self._value = self.initial_value
+        self._ideal_value = self.initial_value
         self._w_drifted = self.cash_weights()  # start fully in cash
         self._w_prev_target = self.cash_weights()
         self.value_history: List[float] = [self._value]
         self.reward_history: List[float] = []
         self.weight_history: List[np.ndarray] = []
         self.mu_history: List[float] = []
+        # Execution-layer trajectories; stay empty without an engine.
+        self.ideal_value_history: List[float] = [self._ideal_value]
+        self.fill_ratio_history: List[float] = []
+        self.slippage_history: List[float] = []
         return self._t
 
     # ------------------------------------------------------------------
@@ -191,25 +217,51 @@ class PortfolioEnv:
         if self._t + 1 >= self.data.n_periods:
             raise RuntimeError("episode finished; call reset()")
 
-        mu = transaction_remainder_exact(
-            self._w_drifted, action, self.commission, self.commission
-        )
+        fill = None
+        if self.execution is None:
+            executed = action
+            mu = transaction_remainder_exact(
+                self._w_drifted, action, self.commission, self.commission
+            )
+        else:
+            fill = self.execution.execute(
+                self._w_drifted,
+                action,
+                self._value,
+                self.execution.tradable_volume(self.data, self._t),
+            )
+            executed = fill.weights
+            mu = fill.mu
         y = self.price_relative(self._t)
-        growth = float(y @ action)
+        growth = float(y @ executed)
         reward = float(np.log(mu * growth))
         # The executed trade: distance from the pre-trade drifted
         # weights (the same w'_t that mu was charged on).
-        turnover = float(np.abs(action - self._w_drifted).sum())
+        turnover = float(np.abs(executed - self._w_drifted).sum())
+
+        info = {"growth": growth, "turnover": turnover}
+        if fill is not None:
+            # The commission-only benchmark compounds the *requested*
+            # trade frictionlessly beyond commission — Perold's paper
+            # portfolio, given the realized history to date.
+            self._ideal_value *= fill.ideal_mu * float(y @ action)
+            info["fill_ratio"] = fill.fill_ratio
+            info["slippage_cost"] = fill.slippage_cost
+            info["commission_mu"] = fill.commission_mu
+            self.fill_ratio_history.append(fill.fill_ratio)
+            self.slippage_history.append(fill.slippage_cost)
 
         self._value *= mu * growth
-        self._w_drifted = drifted_weights(action, y)
-        self._w_prev_target = action.copy()
+        self._w_drifted = drifted_weights(executed, y)
+        self._w_prev_target = executed.copy()
         self._t += 1
 
         self.value_history.append(self._value)
         self.reward_history.append(reward)
-        self.weight_history.append(action.copy())
+        self.weight_history.append(executed.copy())
         self.mu_history.append(mu)
+        if fill is not None:
+            self.ideal_value_history.append(self._ideal_value)
 
         done = self._t + 1 >= self.data.n_periods
         return StepResult(
@@ -218,8 +270,27 @@ class PortfolioEnv:
             mu=mu,
             price_relatives=y,
             done=done,
-            info={"growth": growth, "turnover": turnover},
+            info=info,
         )
+
+    # ------------------------------------------------------------------
+    def execution_summary(self) -> Dict[str, float]:
+        """Implementation-shortfall report of the episode so far.
+
+        Empty without an execution engine (the commission-only path has
+        nothing to report).  ``implementation_shortfall`` is the
+        fraction of terminal wealth lost versus the commission-only
+        full-fill benchmark of the same decision stream.
+        """
+        if self.execution is None or not self.slippage_history:
+            return {}
+        return {
+            "implementation_shortfall": implementation_shortfall(
+                self.value_history, self.ideal_value_history
+            ),
+            "mean_fill_ratio": float(np.mean(self.fill_ratio_history)),
+            "mean_slippage_cost": float(np.mean(self.slippage_history)),
+        }
 
     # ------------------------------------------------------------------
     def average_log_return(self) -> float:

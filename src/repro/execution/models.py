@@ -1,0 +1,198 @@
+"""Slippage / market-impact model zoo.
+
+The back-test's transaction remainder factor μ_t (``envs/costs.py``)
+prices every trade at a flat commission, which is the paper's setting —
+but Poloniex circa 2016–2021 is a thin-liquidity venue where *impact*
+(the price concession paid for demanding liquidity now) dominates real
+execution cost.  A :class:`SlippageModel` turns per-asset trade
+*participation* — trade notional over the tradable volume of the
+decision period — into a fractional cost rate on the traded notional:
+
+.. math::
+
+    \\text{cost}_i = f(q_i / V_i) \\qquad q_i = |\\Delta w_i| \\cdot p_t
+    \\cdot \\text{notional}, \\quad V_i = \\text{ADV}_i \\cdot \\text{depth}_i
+
+All models are vectorized over ``(batch, assets)`` arrays, like the
+fused cost kernels, so the execution engine can price a whole lockstep
+round (or a micro-batched serving round) in one call.
+
+Implementations
+---------------
+* :class:`ZeroSlippage` — exactly zero cost; the sentinel the fast
+  paths key on (an engine carrying it is bit-identical to no engine).
+* :class:`LinearImpact` — ``cost = c · participation``: the standard
+  first-order (Kyle-lambda) model; cheap, differentiable, and the
+  closed form hand-checked in the tests.
+* :class:`SquareRootImpact` — ``cost = c · σ · sqrt(participation)``
+  à la Almgren–Chriss: the empirical square-root law of market impact,
+  with an optional per-period volatility scale.
+* :class:`DepthLimited` — hard per-asset participation caps with
+  partial fills (the remainder of the order simply does not trade),
+  plus a linear penalty on the filled portion.  The cap is what the
+  execution engine's fill logic consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "DepthLimited",
+    "LinearImpact",
+    "SlippageModel",
+    "SquareRootImpact",
+    "ZeroSlippage",
+]
+
+
+@runtime_checkable
+class SlippageModel(Protocol):
+    """What the execution engine needs from an impact model.
+
+    ``cost_rates`` maps participation fractions (trade notional over
+    per-period tradable volume, shape ``(batch, assets)`` or
+    ``(assets,)``) to fractional costs on the traded notional, same
+    shape.  ``participation_cap`` is the per-asset fill limit as a
+    fraction of period volume (``None`` = no cap, full fills).
+    ``is_free`` is True only when the model provably charges nothing
+    and never caps — the hook the zero-cost fast paths key on.
+    """
+
+    def cost_rates(self, participation: np.ndarray) -> np.ndarray: ...
+
+    @property
+    def participation_cap(self) -> Optional[float]: ...
+
+    @property
+    def is_free(self) -> bool: ...
+
+
+class ZeroSlippage:
+    """Frictionless fills: zero impact, no caps.
+
+    An :class:`~repro.execution.engine.ExecutionEngine` carrying this
+    model reproduces the commission-only back-test bit for bit; layers
+    that can skip the execution machinery outright when ``is_free``
+    (serving's micro-batched rounds) do so.
+    """
+
+    @property
+    def participation_cap(self) -> Optional[float]:
+        return None
+
+    @property
+    def is_free(self) -> bool:
+        return True
+
+    def cost_rates(self, participation: np.ndarray) -> np.ndarray:
+        return np.zeros_like(np.asarray(participation, dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return "ZeroSlippage()"
+
+
+class LinearImpact:
+    """First-order (Kyle) impact: ``cost = coefficient · participation``.
+
+    ``coefficient`` is the fractional cost at 100% participation; e.g.
+    ``LinearImpact(0.1)`` charges 10 bp on a trade that is 1% of the
+    period's tradable volume.
+    """
+
+    def __init__(self, coefficient: float):
+        if coefficient < 0:
+            raise ValueError(f"coefficient must be non-negative, got {coefficient}")
+        self.coefficient = float(coefficient)
+
+    @property
+    def participation_cap(self) -> Optional[float]:
+        return None
+
+    @property
+    def is_free(self) -> bool:
+        return self.coefficient == 0.0
+
+    def cost_rates(self, participation: np.ndarray) -> np.ndarray:
+        p = np.asarray(participation, dtype=np.float64)
+        return self.coefficient * p
+
+    def __repr__(self) -> str:
+        return f"LinearImpact({self.coefficient})"
+
+
+class SquareRootImpact:
+    """Almgren–Chriss square-root law: ``cost = c · σ · sqrt(q/V)``.
+
+    ``volatility`` is the per-period return volatility scale σ (the
+    regime-switching generator's candles carry exactly this structure);
+    the default 1.0 folds σ into the coefficient for callers that
+    calibrate ``c`` directly.
+    """
+
+    def __init__(self, coefficient: float, volatility: float = 1.0):
+        if coefficient < 0:
+            raise ValueError(f"coefficient must be non-negative, got {coefficient}")
+        if volatility < 0:
+            raise ValueError(f"volatility must be non-negative, got {volatility}")
+        self.coefficient = float(coefficient)
+        self.volatility = float(volatility)
+
+    @property
+    def participation_cap(self) -> Optional[float]:
+        return None
+
+    @property
+    def is_free(self) -> bool:
+        return self.coefficient == 0.0 or self.volatility == 0.0
+
+    def cost_rates(self, participation: np.ndarray) -> np.ndarray:
+        p = np.asarray(participation, dtype=np.float64)
+        return self.coefficient * self.volatility * np.sqrt(np.maximum(p, 0.0))
+
+    def __repr__(self) -> str:
+        return f"SquareRootImpact({self.coefficient}, volatility={self.volatility})"
+
+
+class DepthLimited:
+    """Per-asset liquidity caps with partial fills + linear penalty.
+
+    ``max_participation`` is the largest fraction of a period's tradable
+    volume one order may consume; the engine fills up to the cap and
+    leaves the rest of the order undone (weights stay closer to the
+    drifted portfolio — the *fill ratio* shows up in the
+    implementation-shortfall report).  ``impact_coefficient`` prices the
+    filled portion linearly, like :class:`LinearImpact`.
+    """
+
+    def __init__(self, max_participation: float, impact_coefficient: float = 0.0):
+        if not 0.0 < max_participation:
+            raise ValueError(
+                f"max_participation must be positive, got {max_participation}"
+            )
+        if impact_coefficient < 0:
+            raise ValueError(
+                f"impact_coefficient must be non-negative, got {impact_coefficient}"
+            )
+        self.max_participation = float(max_participation)
+        self.impact_coefficient = float(impact_coefficient)
+
+    @property
+    def participation_cap(self) -> Optional[float]:
+        return self.max_participation
+
+    @property
+    def is_free(self) -> bool:
+        return False  # caps alter fills even at zero impact cost
+
+    def cost_rates(self, participation: np.ndarray) -> np.ndarray:
+        p = np.asarray(participation, dtype=np.float64)
+        return self.impact_coefficient * np.minimum(p, self.max_participation)
+
+    def __repr__(self) -> str:
+        return (
+            f"DepthLimited({self.max_participation}, "
+            f"impact_coefficient={self.impact_coefficient})"
+        )

@@ -83,6 +83,20 @@ def _metrics_from_dict(payload: Dict[str, Any]) -> BacktestMetrics:
     )
 
 
+def execution_metrics_from_summary(summary: Dict[str, Any]) -> Dict[str, float]:
+    """Execution-summary entries that ride along with fAPV/MDD.
+
+    The single mapping both ``run_shard`` (fresh runs) and
+    :meth:`ArtifactStore.load_shard_metrics` (resumed skips) apply, so
+    a resumed sweep aggregates identically to the run that committed
+    the shard.
+    """
+    return {
+        "shortfall": float(summary["implementation_shortfall"]),
+        "fill_ratio": float(summary["mean_fill_ratio"]),
+    }
+
+
 def _result_to_series(result: BacktestResult) -> Dict[str, np.ndarray]:
     return {
         "values": np.asarray(result.values),
@@ -228,8 +242,19 @@ class ArtifactStore:
         return payload
 
     def load_shard_metrics(self, shard_id: str) -> Dict[str, float]:
-        """Metrics-only read (what table rendering needs) — no arrays."""
-        return dict(self._shard_json(shard_id)["metrics"])
+        """Metrics-only read (what table rendering needs) — no arrays.
+
+        Shards run under a non-ideal execution regime merge their
+        persisted implementation-shortfall summary back in, so a
+        resumed sweep aggregates identically to the run that committed
+        the shard.
+        """
+        payload = self._shard_json(shard_id)
+        metrics = dict(payload["metrics"])
+        execution = (payload.get("extra") or {}).get("execution")
+        if execution:
+            metrics.update(execution_metrics_from_summary(execution))
+        return metrics
 
     def load_strategy_spec(self, shard_id: str) -> Dict[str, Any]:
         """The shard's ``{"strategy", "params"}`` spec — json only, no

@@ -35,6 +35,7 @@ from .artifacts import (
     _history_to_dict,
     _metrics_to_dict,
     _result_to_series,
+    execution_metrics_from_summary,
 )
 from .runner import build_experiment_data, make_trainer
 from .spec import ExperimentSpec, ShardSpec
@@ -75,7 +76,16 @@ def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
         data.test,
         observation=config.observation,
         commission=config.commission,
+        execution=shard.build_execution_engine(),
     )
+    extra: Dict[str, object] = {"assets": list(data.assets)}
+    metrics = _metrics_to_dict(result.metrics)
+    if result.extra:
+        # Implementation-shortfall report of a non-ideal execution
+        # regime; merged into the summary metrics so aggregation and
+        # tables see it alongside fAPV.
+        extra["execution"] = dict(result.extra)
+        metrics.update(execution_metrics_from_summary(result.extra))
     artifact = ShardArtifact(
         shard=shard,
         strategy_spec={"strategy": shard.strategy, "params": params},
@@ -83,13 +93,13 @@ def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
         series=_result_to_series(result),
         weights_state=weights_state,
         history=history,
-        extra={"assets": list(data.assets)},
+        extra=extra,
     )
     store.save_shard(artifact)
     return {
         "shard_id": shard_id,
         "status": "ran",
-        "metrics": _metrics_to_dict(result.metrics),
+        "metrics": metrics,
     }
 
 
@@ -127,28 +137,39 @@ class SweepResult:
         return not self.pending
 
     def aggregate(self) -> List[Dict[str, object]]:
-        """Across-seed mean±std rows per (experiment, strategy, cost).
+        """Across-seed mean±std per (experiment, strategy, cost, execution).
 
         The multi-seed evidence the single-run paper tables lack: each
-        row pools every seed of one grid cell.
+        row pools every seed of one grid cell.  Cells run under a
+        non-ideal execution regime additionally aggregate their
+        implementation-shortfall metrics.
         """
-        groups: Dict[Tuple[int, str, str], List[Dict[str, float]]] = {}
+        groups: Dict[Tuple[int, str, str, str], List[Dict[str, float]]] = {}
         for outcome in self.outcomes:
             key = (
                 outcome.shard.experiment,
                 outcome.shard.strategy,
                 outcome.shard.cost.name,
+                outcome.shard.execution.name,
             )
             groups.setdefault(key, []).append(outcome.metrics)
         rows = []
-        for (experiment, strategy, cost), metrics_list in sorted(groups.items()):
+        for (experiment, strategy, cost, execution), metrics_list in sorted(
+            groups.items()
+        ):
             row: Dict[str, object] = {
                 "experiment": experiment,
                 "strategy": strategy,
                 "cost": cost,
+                "execution": execution,
                 "seeds": len(metrics_list),
             }
-            for metric in ("fapv", "mdd", "sharpe"):
+            metrics = ("fapv", "mdd", "sharpe") + (
+                ("shortfall", "fill_ratio")
+                if all("shortfall" in m for m in metrics_list)
+                else ()
+            )
+            for metric in metrics:
                 values = np.array([m[metric] for m in metrics_list], dtype=np.float64)
                 row[f"{metric}_mean"] = float(values.mean())
                 row[f"{metric}_std"] = (

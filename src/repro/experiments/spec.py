@@ -1,7 +1,8 @@
 """Sweep specification: the experiment grid and its shards.
 
 An :class:`ExperimentSpec` names a grid — seeds × strategies × market
-windows (Table 1 experiments) × cost regimes — over one config profile.
+windows (Table 1 experiments) × cost regimes × execution regimes — over
+one config profile.
 :meth:`ExperimentSpec.expand` flattens the grid into independent
 :class:`ShardSpec` cells, each fully self-describing: a shard carries
 everything needed to run it in any process (deterministic per-shard
@@ -57,6 +58,115 @@ DEFAULT_COST_REGIMES: Tuple[CostRegime, ...] = (
     CostRegime("paper", DEFAULT_COMMISSION),
 )
 
+_EXECUTION_MODELS = ("zero", "linear", "sqrt", "depth")
+_DEFAULT_MAX_PARTICIPATION = 0.05
+_DEFAULT_PORTFOLIO_NOTIONAL = 1e6
+_DEFAULT_ADV_WINDOW_DAYS = 1.0
+
+
+@register_tagged_type
+@dataclass(frozen=True)
+class ExecutionRegime:
+    """One execution/slippage scenario of the sweep grid.
+
+    ``model`` names the slippage model (``zero`` | ``linear`` |
+    ``sqrt`` | ``depth``), ``impact_coef`` its cost coefficient,
+    ``max_participation`` the per-asset fill cap (``depth`` only), and
+    ``portfolio_notional`` the assumed quote-unit size of a value-1.0
+    portfolio (what turns weight changes into money against ADV).
+
+    The default ``zero`` regime builds *no* engine at all
+    (:meth:`build_engine` returns ``None``), so sweeps that don't opt
+    into execution run the exact commission-only path of every previous
+    PR — bit-identical, and at zero overhead.
+
+    Parameters a model ignores are normalised back to their defaults
+    (everything for ``zero``; ``max_participation`` for
+    ``linear``/``sqrt``), so two behaviourally identical regimes never
+    fingerprint into distinct grid cells that recompute the same
+    numbers.
+    """
+
+    name: str
+    model: str = "zero"
+    impact_coef: float = 0.0
+    max_participation: float = _DEFAULT_MAX_PARTICIPATION
+    portfolio_notional: float = _DEFAULT_PORTFOLIO_NOTIONAL
+    adv_window_days: float = _DEFAULT_ADV_WINDOW_DAYS
+
+    def __post_init__(self):
+        if self.model not in _EXECUTION_MODELS:
+            raise ValueError(
+                f"unknown execution model {self.model!r}; "
+                f"choose from {_EXECUTION_MODELS}"
+            )
+        if self.impact_coef < 0:
+            raise ValueError(
+                f"impact_coef must be non-negative, got {self.impact_coef}"
+            )
+        if self.max_participation <= 0:
+            raise ValueError(
+                f"max_participation must be positive, got {self.max_participation}"
+            )
+        if self.portfolio_notional <= 0 or self.adv_window_days <= 0:
+            raise ValueError(
+                "portfolio_notional and adv_window_days must be positive"
+            )
+        if self.model == "zero":
+            object.__setattr__(self, "impact_coef", 0.0)
+            object.__setattr__(
+                self, "portfolio_notional", _DEFAULT_PORTFOLIO_NOTIONAL
+            )
+            object.__setattr__(
+                self, "adv_window_days", _DEFAULT_ADV_WINDOW_DAYS
+            )
+        if self.model != "depth":
+            object.__setattr__(
+                self, "max_participation", _DEFAULT_MAX_PARTICIPATION
+            )
+
+    def build_model(self):
+        """The :class:`~repro.execution.SlippageModel` this regime names."""
+        from ..execution import (
+            DepthLimited,
+            LinearImpact,
+            SquareRootImpact,
+            ZeroSlippage,
+        )
+
+        if self.model == "zero":
+            return ZeroSlippage()
+        if self.model == "linear":
+            return LinearImpact(self.impact_coef)
+        if self.model == "sqrt":
+            return SquareRootImpact(self.impact_coef)
+        return DepthLimited(self.max_participation, self.impact_coef)
+
+    def build_engine(self, commission: float = DEFAULT_COMMISSION):
+        """An :class:`~repro.execution.ExecutionEngine`, or ``None``.
+
+        ``None`` for the ``zero`` model — the signal every consumer
+        (back-tester, serving, benches) uses to skip the execution
+        layer outright, which is what keeps the default regime
+        bit-identical to the pre-execution code path.
+        """
+        from ..execution import ExecutionEngine
+
+        if self.model == "zero":
+            return None
+        return ExecutionEngine(
+            self.build_model(),
+            commission=commission,
+            portfolio_notional=self.portfolio_notional,
+            adv_window_days=self.adv_window_days,
+        )
+
+
+#: Ideal (frictionless-beyond-commission) execution — today's behaviour.
+ZERO_EXECUTION = ExecutionRegime("ideal", "zero")
+
+DEFAULT_EXECUTION_REGIMES: Tuple[ExecutionRegime, ...] = (ZERO_EXECUTION,)
+
 
 def _canonical_json(payload: Any) -> str:
     return json.dumps(encode_tagged(payload), sort_keys=True)
@@ -77,6 +187,7 @@ class ShardSpec:
     strategy: str
     seed: int
     cost: CostRegime
+    execution: ExecutionRegime = ZERO_EXECUTION
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     @property
@@ -88,9 +199,12 @@ class ShardSpec:
         """Deterministic, human-scannable identity of this shard.
 
         The readable prefix names the grid axes; the trailing fingerprint
-        covers *everything* (profile, overrides, commission value), so
-        two shards differing only in an override never collide in a
-        store.
+        covers *everything* (profile, overrides, commission value,
+        execution parameters), so two shards differing only in an
+        override never collide in a store.  The default (ideal)
+        execution regime contributes nothing to the id — those shards
+        compute exactly what pre-execution-subsystem shards computed,
+        so resuming an old store keeps skipping its committed work.
         """
         payload = {
             "profile": self.profile,
@@ -100,11 +214,19 @@ class ShardSpec:
             "cost": self.cost,
             "overrides": sorted(self.overrides),
         }
+        suffix = ""
+        if self.execution != ZERO_EXECUTION:
+            payload["execution"] = self.execution
+            suffix = f"-{self.execution.name}"
         digest = stable_hash(_canonical_json(payload), modulus=16 ** 8)
         return (
             f"exp{self.experiment}-{self.strategy}-s{self.seed}"
-            f"-{self.cost.name}-{digest:08x}"
+            f"-{self.cost.name}{suffix}-{digest:08x}"
         )
+
+    def build_execution_engine(self):
+        """The shard's execution engine (``None`` for ideal fills)."""
+        return self.execution.build_engine(self.cost.commission)
 
     def config(self) -> ExperimentConfig:
         """The :class:`ExperimentConfig` this shard runs.
@@ -131,6 +253,7 @@ class ShardSpec:
             "strategy": self.strategy,
             "seed": self.seed,
             "cost": encode_tagged(self.cost),
+            "execution": encode_tagged(self.execution),
             "overrides": encode_tagged(dict(self.overrides)),
         }
 
@@ -144,6 +267,13 @@ class ShardSpec:
             strategy=str(payload["strategy"]),
             seed=int(payload["seed"]),
             cost=decode_tagged(payload["cost"]),
+            # Pre-execution-subsystem stores carry no execution entry;
+            # they ran the ideal path.
+            execution=(
+                decode_tagged(payload["execution"])
+                if "execution" in payload
+                else ZERO_EXECUTION
+            ),
             overrides=_freeze_overrides(overrides),
         )
 
@@ -160,7 +290,7 @@ def _freeze_overrides(overrides: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ..
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """The sweep grid: seeds × strategies × windows × cost regimes."""
+    """The grid: seeds × strategies × windows × costs × execution."""
 
     name: str
     profile: str = "standard"
@@ -168,6 +298,7 @@ class ExperimentSpec:
     strategies: Tuple[str, ...] = ("sdp", "jiang")
     seeds: Tuple[int, ...] = (7,)
     cost_regimes: Tuple[CostRegime, ...] = DEFAULT_COST_REGIMES
+    execution_regimes: Tuple[ExecutionRegime, ...] = DEFAULT_EXECUTION_REGIMES
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self):
@@ -176,12 +307,19 @@ class ExperimentSpec:
             ("strategies", self.strategies),
             ("seeds", self.seeds),
             ("cost_regimes", self.cost_regimes),
+            ("execution_regimes", self.execution_regimes),
         ):
             object.__setattr__(self, label, tuple(values))
             if not getattr(self, label):
                 raise ValueError(f"spec {self.name!r}: {label} must be non-empty")
         if len(set(c.name for c in self.cost_regimes)) != len(self.cost_regimes):
             raise ValueError(f"spec {self.name!r}: cost regime names must be unique")
+        if len(set(e.name for e in self.execution_regimes)) != len(
+            self.execution_regimes
+        ):
+            raise ValueError(
+                f"spec {self.name!r}: execution regime names must be unique"
+            )
         object.__setattr__(
             self, "overrides", _freeze_overrides(dict(self.overrides))
         )
@@ -204,18 +342,20 @@ class ExperimentSpec:
             for strategy in self.strategies:
                 seeds = self.seeds if is_trainable(strategy) else self.seeds[:1]
                 for cost in self.cost_regimes:
-                    for seed in seeds:
-                        shards.append(
-                            ShardSpec(
-                                sweep=self.name,
-                                profile=self.profile,
-                                experiment=experiment,
-                                strategy=strategy,
-                                seed=seed,
-                                cost=cost,
-                                overrides=self.overrides,
+                    for execution in self.execution_regimes:
+                        for seed in seeds:
+                            shards.append(
+                                ShardSpec(
+                                    sweep=self.name,
+                                    profile=self.profile,
+                                    experiment=experiment,
+                                    strategy=strategy,
+                                    seed=seed,
+                                    cost=cost,
+                                    execution=execution,
+                                    overrides=self.overrides,
+                                )
                             )
-                        )
         return shards
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -226,6 +366,7 @@ class ExperimentSpec:
             "strategies": list(self.strategies),
             "seeds": list(self.seeds),
             "cost_regimes": encode_tagged(list(self.cost_regimes)),
+            "execution_regimes": encode_tagged(list(self.execution_regimes)),
             "overrides": encode_tagged(dict(self.overrides)),
         }
 
@@ -238,6 +379,11 @@ class ExperimentSpec:
             strategies=tuple(str(s) for s in payload["strategies"]),
             seeds=tuple(int(s) for s in payload["seeds"]),
             cost_regimes=tuple(decode_tagged(payload["cost_regimes"])),
+            execution_regimes=(
+                tuple(decode_tagged(payload["execution_regimes"]))
+                if "execution_regimes" in payload
+                else DEFAULT_EXECUTION_REGIMES
+            ),
             overrides=_freeze_overrides(decode_tagged(payload["overrides"])),
         )
 

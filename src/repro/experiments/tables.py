@@ -130,7 +130,19 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
     optionally with the paper's point values inline.
     """
     rows_in = sweep.aggregate() if hasattr(sweep, "aggregate") else list(sweep)
-    headers = ["Exp", "Strategy", "Cost", "Seeds", "MDD", "fAPV", "Sharpe"]
+    # The execution column (and its shortfall metric) only appear when
+    # the sweep actually exercised that axis — all-ideal sweeps and
+    # pre-execution-subsystem aggregates render exactly as before.
+    exec_names = {str(row["execution"]) for row in rows_in if "execution" in row}
+    with_shortfall = any("shortfall_mean" in row for row in rows_in)
+    # Shortfall rows always name their regime, whatever it is called.
+    with_exec = bool(exec_names) and (exec_names != {"ideal"} or with_shortfall)
+    headers = ["Exp", "Strategy", "Cost"]
+    if with_exec:
+        headers += ["Exec"]
+    headers += ["Seeds", "MDD", "fAPV", "Sharpe"]
+    if with_shortfall:
+        headers += ["Shortfall"]
     if with_paper:
         headers += ["fAPV(paper)"]
     # Sweep strategies are registry keys; the paper tables use display
@@ -144,11 +156,21 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
             row["experiment"],
             row["strategy"],
             row["cost"],
+        ]
+        if with_exec:
+            cells.append(row.get("execution", "-"))
+        cells += [
             row["seeds"],
             _pm(row["mdd_mean"], row["mdd_std"]),
             _pm(row["fapv_mean"], row["fapv_std"]),
             _pm(row["sharpe_mean"], row["sharpe_std"]),
         ]
+        if with_shortfall:
+            cells.append(
+                _pm(row["shortfall_mean"], row["shortfall_std"])
+                if "shortfall_mean" in row
+                else "-"
+            )
         if with_paper:
             ref = PAPER_TABLE3.get(row["experiment"], {}).get(
                 display.get(str(row["strategy"]), str(row["strategy"]))
@@ -160,20 +182,30 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
 
 def render_walkforward_table(report) -> str:
     """Per-fold aggregate table for a walk-forward report."""
+    rows_in = report.fold_aggregates()
+    # Execution-aware walks carry an implementation-shortfall column.
+    with_shortfall = any("shortfall_mean" in row for row in rows_in)
     headers = ["Fold", "Test window", "Strategy", "Seeds", "MDD", "fAPV", "Sharpe"]
+    if with_shortfall:
+        headers += ["Shortfall"]
     rows: List[List[object]] = []
-    for row in report.fold_aggregates():
-        rows.append(
-            [
-                row["fold"],
-                f"{row['test_start']}–{row['test_end']}",
-                row["strategy"],
-                row["seeds"],
-                _pm(row["mdd_mean"], row["mdd_std"]),
-                _pm(row["fapv_mean"], row["fapv_std"]),
-                _pm(row["sharpe_mean"], row["sharpe_std"]),
-            ]
-        )
+    for row in rows_in:
+        cells: List[object] = [
+            row["fold"],
+            f"{row['test_start']}–{row['test_end']}",
+            row["strategy"],
+            row["seeds"],
+            _pm(row["mdd_mean"], row["mdd_std"]),
+            _pm(row["fapv_mean"], row["fapv_std"]),
+            _pm(row["sharpe_mean"], row["sharpe_std"]),
+        ]
+        if with_shortfall:
+            cells.append(
+                _pm(row["shortfall_mean"], row["shortfall_std"])
+                if "shortfall_mean" in row
+                else "-"
+            )
+        rows.append(cells)
     return format_table(
         headers, rows, title="Walk-forward evaluation (mean±std across seeds)"
     )

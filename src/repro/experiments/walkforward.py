@@ -121,7 +121,12 @@ class WalkForwardReport:
                 "test_end": window.test_end,
                 "seeds": len(recs),
             }
-            for metric in ("fapv", "mdd", "sharpe"):
+            metrics = ("fapv", "mdd", "sharpe") + (
+                ("shortfall",)
+                if all("shortfall" in r.metrics for r in recs)
+                else ()
+            )
+            for metric in metrics:
                 mean, std = _mean_std([r.metrics[metric] for r in recs])
                 row[f"{metric}_mean"] = mean
                 row[f"{metric}_std"] = std
@@ -205,6 +210,11 @@ class WalkForwardEvaluator:
     schedule:
         Regime calendar for attribution (default: the 2016–2021 crypto
         narrative the generator uses).
+    execution:
+        Optional :class:`~repro.execution.ExecutionEngine`; every
+        fold's back-test then prices rebalances against liquidity and
+        fold metrics gain an ``shortfall`` entry (implementation
+        shortfall vs the commission-only benchmark).
     """
 
     def __init__(
@@ -217,6 +227,7 @@ class WalkForwardEvaluator:
         fine_tune_steps: int = 0,
         schedule: Optional[RegimeSchedule] = None,
         registry=None,
+        execution=None,
     ):
         if not folds:
             raise ValueError("need at least one fold")
@@ -233,7 +244,9 @@ class WalkForwardEvaluator:
         self.schedule = schedule if schedule is not None else default_crypto_schedule()
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.backtester = Backtester(
-            observation=config.observation, commission=config.commission
+            observation=config.observation,
+            commission=config.commission,
+            execution=execution,
         )
 
     # ------------------------------------------------------------------
@@ -282,16 +295,19 @@ class WalkForwardEvaluator:
         result, test_panel = self.backtester.run_window(agent, self.data, window)
         first = self.config.observation.first_decision_index()
         stamps = test_panel.timestamps[first : first + len(result.values)]
+        metrics = {
+            "fapv": result.fapv,
+            "mdd": result.mdd,
+            "sharpe": result.sharpe,
+        }
+        if "implementation_shortfall" in result.extra:
+            metrics["shortfall"] = result.extra["implementation_shortfall"]
         return FoldRecord(
             fold=fold_index,
             strategy=strategy,
             seed=seed,
             window=window,
-            metrics={
-                "fapv": result.fapv,
-                "mdd": result.mdd,
-                "sharpe": result.sharpe,
-            },
+            metrics=metrics,
             regimes=per_regime_metrics(result.values, stamps, self.schedule),
         )
 

@@ -7,6 +7,7 @@ from .performance import (
     evaluate_backtest,
     final_apv,
     hit_rate,
+    implementation_shortfall,
     max_drawdown,
     periodic_returns,
     sharpe_ratio,
@@ -21,6 +22,7 @@ __all__ = [
     "evaluate_backtest",
     "final_apv",
     "hit_rate",
+    "implementation_shortfall",
     "max_drawdown",
     "periodic_returns",
     "sharpe_ratio",

@@ -123,6 +123,26 @@ def hit_rate(values: Sequence[float]) -> float:
     return float((rets > 0).mean())
 
 
+def implementation_shortfall(
+    values: Sequence[float], ideal_values: Sequence[float]
+) -> float:
+    """Fraction of terminal wealth lost to execution frictions.
+
+    ``values`` is the realized trajectory (impact, partial fills);
+    ``ideal_values`` the commission-only benchmark trajectory of the
+    *same decision stream* (Perold's paper portfolio).  Returns
+    ``1 − (values_f/values_0) / (ideal_f/ideal_0)`` — 0 under ideal
+    execution, positive when frictions cost wealth.
+    """
+    actual = _values_array(values)
+    ideal = _values_array(ideal_values)
+    if actual.shape != ideal.shape:
+        raise ValueError(
+            f"trajectories must align, got {actual.shape} vs {ideal.shape}"
+        )
+    return float(1.0 - (actual[-1] / actual[0]) / (ideal[-1] / ideal[0]))
+
+
 @dataclass(frozen=True)
 class BacktestMetrics:
     """The paper's Table 3 metric triple plus companions."""

@@ -126,20 +126,30 @@ class RebalanceRequest:
 
 @dataclass
 class RebalanceResponse:
-    """The served decision: target weights (cash first) for period ``t``."""
+    """The served decision: target weights (cash first) for period ``t``.
+
+    ``execution`` is an advisory pre-trade estimate (expected impact
+    cost, peak participation, fillable fraction) attached only when the
+    service carries a non-free execution engine; decisions themselves
+    are never altered by it.
+    """
 
     session_id: str
     t: int
     weights: np.ndarray
     strategy: str
+    execution: Optional[Dict[str, float]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "session_id": self.session_id,
             "t": self.t,
             "weights": [float(w) for w in np.asarray(self.weights)],
             "strategy": self.strategy,
         }
+        if self.execution is not None:
+            payload["execution"] = dict(self.execution)
+        return payload
 
 
 @dataclass
@@ -211,21 +221,43 @@ class PortfolioService:
     commission:
         Recorded per-session for parity with back-test configuration
         (decisions themselves are commission-free functions of state).
+    execution:
+        Optional :class:`~repro.execution.ExecutionEngine`.  A
+        *non-free* engine attaches advisory pre-trade cost estimates to
+        every response (:attr:`RebalanceResponse.execution`); ``None``
+        or a zero-cost model skips the execution layer entirely — the
+        micro-batched hot path does no extra work per round.  Advisory
+        only: served weights are never altered, and the engine is a
+        runtime setting (not persisted in checkpoints).
     """
 
     def __init__(
         self,
         registry: Optional[StrategyRegistry] = None,
         commission: float = DEFAULT_COMMISSION,
+        execution=None,
     ):
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.commission = float(commission)
+        # Resolved once: the ZeroSlippage fast path must cost nothing
+        # per decision, not re-test the model every round.
+        self._execution = (
+            execution
+            if execution is not None and not execution.is_free
+            else None
+        )
         self.stats = ServiceStats()
         self._sessions: Dict[str, _Session] = {}
         self._markets: Dict[str, MarketData] = {}
         self._shared_agents: Dict[str, Agent] = {}
         self._private_seq = 0  # stable unique keys for unshared agents
         self._lock = threading.RLock()
+
+    @property
+    def execution(self):
+        """The active execution engine (``None`` when unset, or when
+        the configured model was free and got dropped at construction)."""
+        return self._execution
 
     # -- markets -------------------------------------------------------
     def register_market(self, name: str, data: MarketData) -> str:
@@ -676,20 +708,58 @@ class PortfolioService:
                 stats.largest_batch = max(stats.largest_batch, len(group))
             else:
                 stats.single_decisions += 1
-            for (pos, session, t), w in zip(ordered, weights):
-                responses[pos] = self._stage_decision(staged, session, t, w)
+            infos: List[Optional[Dict[str, float]]] = [None] * len(ordered)
+            if self._execution is not None:
+                # One vectorized estimate for the whole round's group —
+                # the batched API the engine exposes for exactly this.
+                w_prev = np.stack(
+                    [staged[s.session_id].w_prev for _, s, _ in ordered]
+                )
+                infos = self._estimate_execution(ordered, w_prev, weights)
+            for (pos, session, t), w, info in zip(ordered, weights, infos):
+                responses[pos] = self._stage_decision(staged, session, t, w, info)
 
         # Stateful strategies keep the ambient grad mode: act() is a
         # user extension point that may legitimately adapt online
         # (backprop inside act), unlike the stateless decide_batch path.
         for pos, session, t in singles:
-            w = session.agent.act(
-                session.data, t, staged[session.session_id].w_prev
+            w = np.asarray(
+                session.agent.act(
+                    session.data, t, staged[session.session_id].w_prev
+                )
             )
             stats.single_decisions += 1
-            responses[pos] = self._stage_decision(
-                staged, session, t, np.asarray(w)
-            )
+            info = None
+            if self._execution is not None:
+                info = self._estimate_execution(
+                    [(pos, session, t)],
+                    staged[session.session_id].w_prev[None, :],
+                    w[None, :],
+                )[0]
+            responses[pos] = self._stage_decision(staged, session, t, w, info)
+
+    def _estimate_execution(
+        self,
+        items: List[Tuple[int, "_Session", int]],
+        w_prev: np.ndarray,
+        weights: np.ndarray,
+    ) -> List[Dict[str, float]]:
+        """Advisory pre-trade estimates for a round of decisions — one
+        :meth:`~repro.execution.ExecutionEngine.estimate_batch` call for
+        the whole batch (the tradable-volume rows are cached slices)."""
+        engine = self._execution
+        volumes = np.stack(
+            [engine.tradable_volume(s.data, t) for _, s, t in items]
+        )
+        est = engine.estimate_batch(w_prev, weights, volumes)
+        return [
+            {
+                "cost": float(est["cost"][i]),
+                "max_participation": float(est["max_participation"][i]),
+                "fill_ratio": float(est["fill_ratio"][i]),
+            }
+            for i in range(len(items))
+        ]
 
     def _stage_decision(
         self,
@@ -697,6 +767,7 @@ class PortfolioService:
         session: _Session,
         t: int,
         weights: np.ndarray,
+        execution_info: Optional[Dict[str, float]] = None,
     ) -> RebalanceResponse:
         # The same validation + normalisation PortfolioEnv.step applies,
         # so served trajectories match back-tested ones exactly — and a
@@ -720,6 +791,7 @@ class PortfolioService:
             t=t,
             weights=weights,
             strategy=session.spec["strategy"],
+            execution=execution_info,
         )
 
     # -- checkpointing -------------------------------------------------

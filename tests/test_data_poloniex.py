@@ -63,11 +63,65 @@ class TestChartData:
             exchange.return_chart_data("garbage")
 
 
+class TestCandleSchema:
+    def test_derived_fields_consistent(self, exchange):
+        """``weightedAverage`` is the HLC typical price and
+        ``quoteVolume`` the base volume divided by it — the schema the
+        real API's consumers (and the ingestion bench) rely on."""
+        candles = exchange.return_chart_data("USDT_BTC", period=7200)
+        for c in candles[:50]:
+            expected_wavg = (c["high"] + c["low"] + c["close"]) / 3.0
+            assert c["weightedAverage"] == pytest.approx(expected_wavg)
+            assert c["quoteVolume"] == pytest.approx(c["volume"] / expected_wavg)
+            assert c["low"] <= c["close"] <= c["high"]
+            assert c["low"] <= c["open"] <= c["high"]
+
+    def test_full_span_is_history(self, exchange):
+        candles = exchange.return_chart_data("USDT_BTC", period=7200)
+        assert len(candles) == exchange.data.n_periods
+        assert candles[0]["date"] == int(exchange.data.timestamps[0])
+
+    def test_out_of_history_is_empty(self, exchange):
+        """Requests beyond held history return empty lists (the real
+        API's behaviour), not an error."""
+        candles = exchange.return_chart_data(
+            "USDT_BTC", 7200,
+            start=parse_date("2025/01/01"), end=parse_date("2025/02/01"),
+        )
+        assert candles == []
+
+    def test_base_period_validated(self):
+        with pytest.raises(PoloniexError):
+            PoloniexSimulator(
+                MarketGenerator(seed=1),
+                history_start="2019/01/01",
+                history_end="2019/02/01",
+                base_period=1234,
+            )
+
+
 class TestVolumeAndTicker:
     def test_24h_volume_pairs(self, exchange):
         vol = exchange.return_24h_volume()
         assert set(vol) == set(exchange.currency_pairs())
         assert all(v > 0 for v in vol.values())
+
+    def test_24h_volume_is_trailing_day_sum(self, exchange):
+        """The trailing window is exactly one day of base periods,
+        inclusive of the as-of period."""
+        panel = exchange.data
+        t = int(panel.timestamps[100])
+        vol = exchange.return_24h_volume(as_of=t)
+        window = int(86_400 / panel.period_seconds)
+        j = panel.names.index("BTC")
+        expected = panel.volume[100 + 1 - window : 101, j].sum()
+        assert vol["USDT_BTC"] == pytest.approx(expected)
+
+    def test_24h_volume_truncates_at_history_start(self, exchange):
+        panel = exchange.data
+        vol = exchange.return_24h_volume(as_of=int(panel.timestamps[2]))
+        j = panel.names.index("BTC")
+        assert vol["USDT_BTC"] == pytest.approx(panel.volume[:3, j].sum())
 
     def test_ticker_fields(self, exchange):
         tick = exchange.return_ticker()
@@ -103,3 +157,37 @@ class TestFetchPanel:
     def test_empty_range_raises(self, exchange):
         with pytest.raises(PoloniexError):
             exchange.fetch_panel(["USDT_BTC"], "2025/01/01", "2025/02/01", 7200)
+
+    def test_unknown_pair_raises(self, exchange):
+        with pytest.raises(PoloniexError):
+            exchange.fetch_panel(
+                ["USDT_BTC", "USDT_NOPE"], "2019/02/01", "2019/03/01", 7200
+            )
+
+    def test_resampled_panel_aggregates(self, exchange):
+        """A resampled fetch matches resampling the direct slice —
+        volume sums, close takes the last sub-candle."""
+        panel = exchange.fetch_panel(
+            ["USDT_BTC"], "2019/02/01", "2019/03/01", period=14400
+        )
+        direct = (
+            exchange.data.slice_time("2019/02/01", "2019/03/01")
+            .select_assets(["BTC"])
+        )
+        assert panel.period_seconds == 14400
+        assert np.allclose(
+            panel.volume[:, 0],
+            direct.volume[: 2 * panel.n_periods, 0]
+            .reshape(-1, 2)
+            .sum(axis=1),
+        )
+
+    def test_feeds_execution_adv(self, exchange):
+        """The API-ingested panel carries the volume structure the
+        execution layer's ADV panel consumes."""
+        panel = exchange.fetch_panel(
+            ["USDT_BTC", "USDT_ETH"], "2019/02/01", "2019/03/01", 7200
+        )
+        adv = panel.adv_panel()
+        assert adv.shape == panel.volume.shape
+        assert (adv > 0).all()
