@@ -17,6 +17,11 @@ serving-relevant workloads plus the training loop:
   and the linear / square-root / depth-limited impact models, so the
   per-decision cost of liquidity-aware execution is on the perf
   trajectory.
+* **risk** — the fused batched back-test run through the risk
+  projection layer: no engine, a null engine (must be bit-identical —
+  the layer's zero-constraint invariant), and the ``caps`` /
+  ``lockout`` presets, so the per-decision cost of constraint
+  projection is on the perf trajectory too.
 * **training** — ``PolicyTrainer`` minibatch steps on a SharedSDP agent
   three ways: the *seed* path (closure-graph forward/backward plus the
   seed's allocating prologue — ``select_assets`` with full-panel
@@ -414,6 +419,71 @@ def bench_execution(panels, n_assets: int) -> Dict:
     }
 
 
+def bench_risk(panels, n_assets: int) -> Dict:
+    """Decisions/sec of the batched back-test across risk regimes.
+
+    The ``none`` path is the parity gate: an explicit null
+    :class:`~repro.risk.RiskEngine` (no limits) must reproduce the
+    no-engine run bit for bit (values, weights, and μ trajectories) —
+    the projection layer's zero-constraint invariant, mirroring the
+    execution section's ``ZeroSlippage`` gate.
+    """
+    from repro.experiments import risk_regime_preset
+    from repro.risk import RiskEngine
+
+    agent = SDPAgent(n_assets, observation=OBSERVATION, **AGENT_PARAMS)
+    engines = [
+        ("risk_no_engine", None),
+        ("risk_none", RiskEngine(())),
+        ("risk_caps", risk_regime_preset("caps").build_engine()),
+        ("risk_lockout", risk_regime_preset("lockout").build_engine()),
+    ]
+    paths = []
+    results = {}
+    for name, engine in engines:
+        backtester = Backtester(observation=OBSERVATION, risk=engine)
+        with _TimedDecide(agent, agent.network.forward_inference) as timer:
+            t0 = time.perf_counter()
+            results[name] = backtester.run_many(agent, panels)
+            seconds = time.perf_counter() - t0
+            latencies = timer.latencies
+        decisions = sum(len(r.weights) for r in results[name])
+        paths.append(_stats(name, decisions, seconds, latencies))
+
+    identical = all(
+        np.array_equal(a.values, b.values)
+        and np.array_equal(a.weights, b.weights)
+        and np.array_equal(a.mus, b.mus)
+        for a, b in zip(results["risk_no_engine"], results["risk_none"])
+    )
+    none_s = paths[0]["seconds"]
+    return {
+        "regimes": {
+            "caps": "PositionCap(0.35) + CashFloor(0.05)",
+            "lockout": "DrawdownLockout(0.15, 10)",
+        },
+        "paths": paths,
+        "none_bit_identical": bool(identical),
+        "overhead_none_vs_no_engine": round(paths[1]["seconds"] / none_s, 2),
+        "overhead_caps_vs_no_engine": round(paths[2]["seconds"] / none_s, 2),
+        "overhead_lockout_vs_no_engine": round(paths[3]["seconds"] / none_s, 2),
+        "mean_violation_rate": {
+            name: round(
+                float(
+                    np.mean(
+                        [
+                            r.extra.get("risk", {}).get("violation_rate", 0.0)
+                            for r in results[name]
+                        ]
+                    )
+                ),
+                6,
+            )
+            for name in ("risk_caps", "risk_lockout")
+        },
+    }
+
+
 def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     params = {"observation": OBSERVATION, **AGENT_PARAMS}
 
@@ -502,6 +572,7 @@ def main(argv=None) -> int:
     panels = make_panels(args.panels, args.assets)
     backtest = bench_backtest(panels, args.assets)
     execution = bench_execution(panels, args.assets)
+    risk = bench_risk(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
     training = bench_training(make_training_panel(args.assets), args.train_steps)
 
@@ -516,12 +587,13 @@ def main(argv=None) -> int:
         },
         "backtest": backtest,
         "execution": execution,
+        "risk": risk,
         "serving": serving,
         "training": training,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    for section in ("backtest", "execution", "serving"):
+    for section in ("backtest", "execution", "risk", "serving"):
         for path in report[section]["paths"]:
             print(
                 f"{path['name']:32s} {path['decisions_per_sec']:>9.1f} dec/s   "
@@ -550,6 +622,13 @@ def main(argv=None) -> int:
         f"zero bit-identical: {execution['zero_bit_identical']}"
     )
     print(
+        f"risk overhead (none/caps/lockout vs no engine): "
+        f"{risk['overhead_none_vs_no_engine']}x / "
+        f"{risk['overhead_caps_vs_no_engine']}x / "
+        f"{risk['overhead_lockout_vs_no_engine']}x; "
+        f"none bit-identical: {risk['none_bit_identical']}"
+    )
+    print(
         f"training speedup (fused vs seed): "
         f"{training['speedup_fused_vs_seed']}x "
         f"(vs current graph path: {training['speedup_fused_vs_graph']}x); "
@@ -564,6 +643,7 @@ def main(argv=None) -> int:
             and serving["weights_bit_identical"]
             and training["weights_bit_identical"]
             and execution["zero_bit_identical"]
+            and risk["none_bit_identical"]
         )
         if not ok:
             print("PARITY MISMATCH: fused path diverged from graph path", file=sys.stderr)

@@ -4,8 +4,8 @@ Thin argparse over the experiment engine and the existing entry points:
 
 * ``run``          — one Table 3 experiment end to end (+ tables)
 * ``sweep``        — a seeds × strategies × windows × costs × execution
-  grid on the sharded engine, with checkpoint/resume into an artifact
-  store
+  × risk grid on the sharded engine, with checkpoint/resume into an
+  artifact store
 * ``walkforward``  — rolling train/test evaluation with per-fold and
   per-regime aggregate tables
 * ``bench``        — delegate to a benchmark script (default:
@@ -137,6 +137,31 @@ def _parse_executions(specs: Sequence[str]) -> Tuple:
     return tuple(regimes)
 
 
+def _parse_risk_spec(item: str, name: str = None):
+    """``preset`` (none|caps|turnover|lockout|tight) → :class:`RiskRegime`."""
+    from .experiments import RiskRegime
+
+    try:
+        return RiskRegime(name if name is not None else item, item)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _parse_risks(specs: Sequence[str]) -> Tuple:
+    from .experiments import DEFAULT_RISK_REGIMES
+
+    if not specs:
+        return DEFAULT_RISK_REGIMES
+    regimes = []
+    for item in specs:
+        if "=" in item:
+            name, rest = item.split("=", 1)
+            regimes.append(_parse_risk_spec(rest, name))
+        else:
+            regimes.append(_parse_risk_spec(item))
+    return tuple(regimes)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import ExperimentSpec, SweepRunner, render_sweep_table
 
@@ -148,6 +173,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         cost_regimes=_parse_costs(args.costs),
         execution_regimes=_parse_executions(args.executions),
+        risk_regimes=_parse_risks(args.risks),
         overrides=tuple(_overrides(args).items()),
     )
     runner = SweepRunner(spec, args.store, max_workers=args.workers)
@@ -192,6 +218,9 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
         execution = _parse_execution_spec(args.execution).build_engine(
             config.commission
         )
+    risk = None
+    if args.risk is not None:
+        risk = _parse_risk_spec(args.risk).build_engine()
     evaluator = WalkForwardEvaluator(
         panel,
         folds,
@@ -200,6 +229,7 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         fine_tune_steps=args.fine_tune_steps,
         execution=execution,
+        risk=risk,
     )
     report = evaluator.run()
     print(render_walkforward_table(report))
@@ -296,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution regimes as name=model[:coef[:cap[:notional]]], "
         "model one of zero|linear|sqrt|depth (default: ideal=zero)",
     )
+    p_sweep.add_argument(
+        "--risks", nargs="+", default=[],
+        help="risk regimes as [name=]preset, preset one of "
+        "none|caps|turnover|lockout|tight (default: none)",
+    )
     p_sweep.add_argument("--workers", type=int, default=None)
     p_sweep.add_argument("--serial", action="store_true", help="no process pool")
     p_sweep.add_argument(
@@ -320,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", default=None,
         help="execution regime as model[:coef[:cap[:notional]]] "
         "(zero|linear|sqrt|depth; default: ideal fills)",
+    )
+    p_wf.add_argument(
+        "--risk", default=None,
+        help="risk regime preset (none|caps|turnover|lockout|tight; "
+        "default: unconstrained)",
     )
     p_wf.set_defaults(func=_cmd_walkforward)
 

@@ -106,6 +106,7 @@ def run_backtest(
     commission: float = DEFAULT_COMMISSION,
     initial_value: float = 1.0,
     execution=None,
+    risk=None,
 ) -> BacktestResult:
     """Back-test ``agent`` over ``data`` and compute Table 3 metrics.
 
@@ -113,11 +114,15 @@ def run_backtest(
     for backward compatibility (and convenience).  ``execution`` is an
     optional :class:`~repro.execution.ExecutionEngine`; when set the
     result's ``extra`` carries implementation-shortfall metrics.
+    ``risk`` is an optional :class:`~repro.risk.RiskEngine`; when set
+    every decision is projected onto its constraint set before
+    execution and ``extra["risk"]`` carries the enforcement report.
     """
     engine = Backtester(
         observation=observation,
         commission=commission,
         initial_value=initial_value,
         execution=execution,
+        risk=risk,
     )
     return engine.run(agent, data)

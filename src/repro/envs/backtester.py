@@ -112,6 +112,11 @@ class Backtester:
         every environment this engine builds prices rebalances against
         market liquidity and results carry implementation-shortfall
         metrics in :attr:`BacktestResult.extra`.
+    risk:
+        Optional :class:`~repro.risk.RiskEngine`; when set, every
+        decision is projected onto the constraint set before execution
+        and results carry a constraint-enforcement report under
+        ``extra["risk"]``.
     """
 
     def __init__(
@@ -120,11 +125,13 @@ class Backtester:
         commission: float = DEFAULT_COMMISSION,
         initial_value: float = 1.0,
         execution=None,
+        risk=None,
     ):
         self.observation = observation if observation is not None else ObservationConfig()
         self.commission = float(commission)
         self.initial_value = float(initial_value)
         self.execution = execution
+        self.risk = risk
 
     # ------------------------------------------------------------------
     def make_env(self, data: MarketData) -> PortfolioEnv:
@@ -135,10 +142,18 @@ class Backtester:
             commission=self.commission,
             initial_value=self.initial_value,
             execution=self.execution,
+            risk=self.risk,
         )
 
     def _result(self, agent_name: str, env: PortfolioEnv, data: MarketData) -> BacktestResult:
         metrics = evaluate_backtest(env.value_history, data.period_seconds)
+        # Execution keys stay flat (historical shape callers key on);
+        # the risk report nests under its own key so the two layers
+        # can never collide.
+        extra: Dict[str, float] = env.execution_summary()
+        risk_summary = env.risk_summary()
+        if risk_summary:
+            extra["risk"] = risk_summary
         return BacktestResult(
             agent_name=agent_name,
             values=np.asarray(env.value_history),
@@ -146,7 +161,7 @@ class Backtester:
             rewards=np.asarray(env.reward_history),
             mus=np.asarray(env.mu_history),
             metrics=metrics,
-            extra=env.execution_summary(),
+            extra=extra,
         )
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from .observations import ObservationConfig
 
 if TYPE_CHECKING:  # execution imports envs.costs; keep the cycle type-only
     from ..execution import ExecutionEngine
+    from ..risk import LockoutState, RiskEngine
 
 
 def normalize_action(action: np.ndarray, action_dim: int, context: str = "action") -> np.ndarray:
@@ -93,6 +94,11 @@ class PortfolioEnv:
         fills).  ``None`` (the default) keeps the commission-only path
         untouched; an engine with a zero-cost model is bit-identical to
         it.
+    risk:
+        Optional :class:`~repro.risk.RiskEngine` projecting each
+        decision onto the constraint set *before* execution.  ``None``
+        (the default) keeps today's unconstrained path untouched; a
+        null engine (no limits) is bit-identical to it.
 
     Timeline
     --------
@@ -109,6 +115,7 @@ class PortfolioEnv:
         commission: float = DEFAULT_COMMISSION,
         initial_value: float = 1.0,
         execution: Optional["ExecutionEngine"] = None,
+        risk: Optional["RiskEngine"] = None,
     ):
         if initial_value <= 0:
             raise ValueError("initial_value must be positive")
@@ -126,6 +133,7 @@ class PortfolioEnv:
                 f"{self.commission}; build the engine with the same rate"
             )
         self.execution = execution
+        self.risk = risk
         first = self.observation.first_decision_index()
         if first >= data.n_periods - 1:
             raise ValueError(
@@ -179,6 +187,14 @@ class PortfolioEnv:
         self.ideal_value_history: List[float] = [self._ideal_value]
         self.fill_ratio_history: List[float] = []
         self.slippage_history: List[float] = []
+        # Risk-layer trajectories; stay empty without an engine.
+        self.risk_binding_history: List[Dict[str, bool]] = []
+        self.lockout_history: List[bool] = []
+        self.pre_turnover_history: List[float] = []
+        self.post_turnover_history: List[float] = []
+        self._risk_state: Optional["LockoutState"] = (
+            self.risk.initial_state(self._value) if self.risk is not None else None
+        )
         return self._t
 
     # ------------------------------------------------------------------
@@ -217,6 +233,21 @@ class PortfolioEnv:
         if self._t + 1 >= self.data.n_periods:
             raise RuntimeError("episode finished; call reset()")
 
+        report = None
+        if self.risk is not None:
+            # Project the decision onto the constraint set before any
+            # execution pricing — risk limits bound what the book *asks
+            # for*, not what the market fills.  A null engine returns
+            # the action array itself (bit-identical path).
+            report, self._risk_state = self.risk.step(
+                self._w_drifted,
+                action,
+                t=self._t - self._first_decision,
+                value=self._value,
+                state=self._risk_state,
+            )
+            action = report.weights
+
         fill = None
         if self.execution is None:
             executed = action
@@ -240,6 +271,13 @@ class PortfolioEnv:
         turnover = float(np.abs(executed - self._w_drifted).sum())
 
         info = {"growth": growth, "turnover": turnover}
+        if report is not None:
+            info["risk_violated"] = float(report.violated)
+            info["risk_locked"] = float(report.locked)
+            self.risk_binding_history.append(dict(report.binding))
+            self.lockout_history.append(report.locked)
+            self.pre_turnover_history.append(report.pre_turnover)
+            self.post_turnover_history.append(report.post_turnover)
         if fill is not None:
             # The commission-only benchmark compounds the *requested*
             # trade frictionlessly beyond commission — Perold's paper
@@ -291,6 +329,39 @@ class PortfolioEnv:
             "mean_fill_ratio": float(np.mean(self.fill_ratio_history)),
             "mean_slippage_cost": float(np.mean(self.slippage_history)),
         }
+
+    # ------------------------------------------------------------------
+    def risk_summary(self) -> Dict[str, object]:
+        """Constraint-enforcement report of the episode so far.
+
+        Empty without a risk engine (the unconstrained path has nothing
+        to report).  ``violation_rate`` is the fraction of decisions on
+        which at least one constraint bound; ``binding_counts`` the
+        per-constraint attribution of those decisions.
+        """
+        if self.risk is None or not self.risk_binding_history:
+            return {}
+        n = len(self.risk_binding_history)
+        counts: Dict[str, int] = {}
+        violated = 0
+        for binding in self.risk_binding_history:
+            hit = False
+            for name, bound in binding.items():
+                if bound:
+                    counts[name] = counts.get(name, 0) + 1
+                    hit = True
+            violated += int(hit)
+        summary: Dict[str, object] = {
+            "violation_rate": violated / n,
+            "lockout_rate": sum(self.lockout_history) / n,
+            "mean_pre_turnover": float(np.mean(self.pre_turnover_history)),
+            "mean_post_turnover": float(np.mean(self.post_turnover_history)),
+            "binding_counts": counts,
+            "n_decisions": n,
+        }
+        if self.risk.has_lockout and self._risk_state is not None:
+            summary["lockout_triggers"] = int(self._risk_state.triggers)
+        return summary
 
     # ------------------------------------------------------------------
     def average_log_return(self) -> float:

@@ -97,6 +97,22 @@ def execution_metrics_from_summary(summary: Dict[str, Any]) -> Dict[str, float]:
     }
 
 
+def risk_metrics_from_summary(summary: Dict[str, Any]) -> Dict[str, float]:
+    """Risk-summary entries that ride along with fAPV/MDD.
+
+    Same contract as :func:`execution_metrics_from_summary`: applied by
+    both ``run_shard`` (fresh runs) and
+    :meth:`ArtifactStore.load_shard_metrics` (resumed skips), so a
+    resumed sweep aggregates identically to the run that committed the
+    shard.
+    """
+    return {
+        "violation_rate": float(summary["violation_rate"]),
+        "lockout_rate": float(summary["lockout_rate"]),
+        "risk_turnover": float(summary["mean_post_turnover"]),
+    }
+
+
 def _result_to_series(result: BacktestResult) -> Dict[str, np.ndarray]:
     return {
         "values": np.asarray(result.values),
@@ -251,9 +267,13 @@ class ArtifactStore:
         """
         payload = self._shard_json(shard_id)
         metrics = dict(payload["metrics"])
-        execution = (payload.get("extra") or {}).get("execution")
+        extra = payload.get("extra") or {}
+        execution = extra.get("execution")
         if execution:
             metrics.update(execution_metrics_from_summary(execution))
+        risk = extra.get("risk")
+        if risk:
+            metrics.update(risk_metrics_from_summary(risk))
         return metrics
 
     def load_strategy_spec(self, shard_id: str) -> Dict[str, Any]:

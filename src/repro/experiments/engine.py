@@ -36,6 +36,7 @@ from .artifacts import (
     _metrics_to_dict,
     _result_to_series,
     execution_metrics_from_summary,
+    risk_metrics_from_summary,
 )
 from .runner import build_experiment_data, make_trainer
 from .spec import ExperimentSpec, ShardSpec
@@ -77,15 +78,23 @@ def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
         observation=config.observation,
         commission=config.commission,
         execution=shard.build_execution_engine(),
+        risk=shard.build_risk_engine(),
     )
     extra: Dict[str, object] = {"assets": list(data.assets)}
     metrics = _metrics_to_dict(result.metrics)
-    if result.extra:
+    result_extra = dict(result.extra)
+    risk_summary = result_extra.pop("risk", None)
+    if result_extra:
         # Implementation-shortfall report of a non-ideal execution
         # regime; merged into the summary metrics so aggregation and
         # tables see it alongside fAPV.
-        extra["execution"] = dict(result.extra)
-        metrics.update(execution_metrics_from_summary(result.extra))
+        extra["execution"] = result_extra
+        metrics.update(execution_metrics_from_summary(result_extra))
+    if risk_summary:
+        # Constraint-enforcement report of a non-none risk regime —
+        # same ride-along discipline as the execution summary.
+        extra["risk"] = risk_summary
+        metrics.update(risk_metrics_from_summary(risk_summary))
     artifact = ShardArtifact(
         shard=shard,
         strategy_spec={"strategy": shard.strategy, "params": params},
@@ -137,24 +146,27 @@ class SweepResult:
         return not self.pending
 
     def aggregate(self) -> List[Dict[str, object]]:
-        """Across-seed mean±std per (experiment, strategy, cost, execution).
+        """Across-seed mean±std per (experiment, strategy, cost,
+        execution, risk) grid cell.
 
         The multi-seed evidence the single-run paper tables lack: each
         row pools every seed of one grid cell.  Cells run under a
         non-ideal execution regime additionally aggregate their
-        implementation-shortfall metrics.
+        implementation-shortfall metrics; cells run under a non-none
+        risk regime their constraint-violation metrics.
         """
-        groups: Dict[Tuple[int, str, str, str], List[Dict[str, float]]] = {}
+        groups: Dict[Tuple[int, str, str, str, str], List[Dict[str, float]]] = {}
         for outcome in self.outcomes:
             key = (
                 outcome.shard.experiment,
                 outcome.shard.strategy,
                 outcome.shard.cost.name,
                 outcome.shard.execution.name,
+                outcome.shard.risk.name,
             )
             groups.setdefault(key, []).append(outcome.metrics)
         rows = []
-        for (experiment, strategy, cost, execution), metrics_list in sorted(
+        for (experiment, strategy, cost, execution, risk), metrics_list in sorted(
             groups.items()
         ):
             row: Dict[str, object] = {
@@ -162,12 +174,21 @@ class SweepResult:
                 "strategy": strategy,
                 "cost": cost,
                 "execution": execution,
+                "risk": risk,
                 "seeds": len(metrics_list),
             }
-            metrics = ("fapv", "mdd", "sharpe") + (
-                ("shortfall", "fill_ratio")
-                if all("shortfall" in m for m in metrics_list)
-                else ()
+            metrics = (
+                ("fapv", "mdd", "sharpe")
+                + (
+                    ("shortfall", "fill_ratio")
+                    if all("shortfall" in m for m in metrics_list)
+                    else ()
+                )
+                + (
+                    ("violation_rate", "lockout_rate", "risk_turnover")
+                    if all("violation_rate" in m for m in metrics_list)
+                    else ()
+                )
             )
             for metric in metrics:
                 values = np.array([m[metric] for m in metrics_list], dtype=np.float64)

@@ -167,6 +167,136 @@ ZERO_EXECUTION = ExecutionRegime("ideal", "zero")
 
 DEFAULT_EXECUTION_REGIMES: Tuple[ExecutionRegime, ...] = (ZERO_EXECUTION,)
 
+_RISK_PRESETS = ("none", "caps", "turnover", "lockout", "tight")
+
+#: Per-preset parameter defaults; fields a preset does not name are
+#: normalised to zero so behaviourally identical regimes fingerprint
+#: identically (same discipline as ExecutionRegime).
+_RISK_PRESET_DEFAULTS: Dict[str, Dict[str, float]] = {
+    "none": {},
+    "caps": {"max_weight": 0.35, "min_cash": 0.05},
+    "turnover": {"max_turnover": 0.25},
+    "lockout": {"max_drawdown": 0.15, "lockout_periods": 10},
+    "tight": {
+        "max_weight": 0.20,
+        "min_cash": 0.10,
+        "max_turnover": 0.15,
+        "max_drawdown": 0.10,
+        "lockout_periods": 20,
+    },
+}
+
+_RISK_FIELDS = (
+    "max_weight",
+    "min_cash",
+    "max_turnover",
+    "max_drawdown",
+    "lockout_periods",
+)
+
+
+@register_tagged_type
+@dataclass(frozen=True)
+class RiskRegime:
+    """One portfolio-constraint scenario of the sweep grid.
+
+    ``preset`` names the constraint family (``none`` | ``caps`` |
+    ``turnover`` | ``lockout`` | ``tight``); the numeric fields tune it.
+    A zero (unset) field takes the preset's default; fields the preset
+    does not use are normalised back to zero, so two behaviourally
+    identical regimes never fingerprint into distinct grid cells.
+
+    The default ``none`` regime builds *no* engine at all
+    (:meth:`build_engine` returns ``None``), so sweeps that don't opt
+    into constraints run the exact unconstrained path of every previous
+    PR — bit-identical, and at zero overhead.
+    """
+
+    name: str
+    preset: str = "none"
+    max_weight: float = 0.0
+    min_cash: float = 0.0
+    max_turnover: float = 0.0
+    max_drawdown: float = 0.0
+    lockout_periods: int = 0
+
+    def __post_init__(self):
+        if self.preset not in _RISK_PRESETS:
+            raise ValueError(
+                f"unknown risk preset {self.preset!r}; choose from {_RISK_PRESETS}"
+            )
+        defaults = _RISK_PRESET_DEFAULTS[self.preset]
+        for field_name in _RISK_FIELDS:
+            value = getattr(self, field_name)
+            if field_name in defaults:
+                if not value:
+                    value = defaults[field_name]
+            else:
+                value = 0
+            if field_name == "lockout_periods":
+                value = int(value)
+            else:
+                value = float(value)
+            object.__setattr__(self, field_name, value)
+        if "max_weight" in defaults and not 0.0 < self.max_weight <= 1.0:
+            raise ValueError(f"max_weight must lie in (0, 1], got {self.max_weight}")
+        if not 0.0 <= self.min_cash < 1.0:
+            raise ValueError(f"min_cash must lie in [0, 1), got {self.min_cash}")
+        if "max_turnover" in defaults and self.max_turnover <= 0.0:
+            raise ValueError(
+                f"max_turnover must be positive, got {self.max_turnover}"
+            )
+        if "max_drawdown" in defaults and not 0.0 < self.max_drawdown < 1.0:
+            raise ValueError(
+                f"max_drawdown must lie in (0, 1), got {self.max_drawdown}"
+            )
+        if "lockout_periods" in defaults and self.lockout_periods < 1:
+            raise ValueError(
+                f"lockout_periods must be >= 1, got {self.lockout_periods}"
+            )
+
+    def build_limits(self):
+        """The :mod:`repro.risk` limit zoo this regime names."""
+        from ..risk import CashFloor, DrawdownLockout, PositionCap, TurnoverBudget
+
+        limits = []
+        if self.max_weight:
+            limits.append(PositionCap(self.max_weight))
+        if self.min_cash:
+            limits.append(CashFloor(self.min_cash))
+        if self.max_turnover:
+            limits.append(TurnoverBudget(self.max_turnover))
+        if self.max_drawdown:
+            limits.append(
+                DrawdownLockout(self.max_drawdown, self.lockout_periods)
+            )
+        return tuple(limits)
+
+    def build_engine(self):
+        """A :class:`~repro.risk.RiskEngine`, or ``None``.
+
+        ``None`` for the ``none`` preset — the signal every consumer
+        (environment, serving, benches) uses to skip the risk layer
+        outright, which is what keeps the default regime bit-identical
+        to the pre-risk code path.
+        """
+        from ..risk import RiskEngine
+
+        if self.preset == "none":
+            return None
+        return RiskEngine(self.build_limits())
+
+
+#: Unconstrained portfolio — today's behaviour.
+NO_RISK = RiskRegime("none", "none")
+
+DEFAULT_RISK_REGIMES: Tuple[RiskRegime, ...] = (NO_RISK,)
+
+
+def risk_regime_preset(name: str) -> RiskRegime:
+    """The named preset as a regime (regime name = preset name)."""
+    return RiskRegime(name, name)
+
 
 def _canonical_json(payload: Any) -> str:
     return json.dumps(encode_tagged(payload), sort_keys=True)
@@ -188,6 +318,7 @@ class ShardSpec:
     seed: int
     cost: CostRegime
     execution: ExecutionRegime = ZERO_EXECUTION
+    risk: RiskRegime = NO_RISK
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     @property
@@ -202,9 +333,10 @@ class ShardSpec:
         covers *everything* (profile, overrides, commission value,
         execution parameters), so two shards differing only in an
         override never collide in a store.  The default (ideal)
-        execution regime contributes nothing to the id — those shards
-        compute exactly what pre-execution-subsystem shards computed,
-        so resuming an old store keeps skipping its committed work.
+        execution and (none) risk regimes contribute nothing to the id
+        — those shards compute exactly what pre-subsystem shards
+        computed, so resuming an old store keeps skipping its committed
+        work.
         """
         payload = {
             "profile": self.profile,
@@ -218,6 +350,9 @@ class ShardSpec:
         if self.execution != ZERO_EXECUTION:
             payload["execution"] = self.execution
             suffix = f"-{self.execution.name}"
+        if self.risk != NO_RISK:
+            payload["risk"] = self.risk
+            suffix += f"-{self.risk.name}"
         digest = stable_hash(_canonical_json(payload), modulus=16 ** 8)
         return (
             f"exp{self.experiment}-{self.strategy}-s{self.seed}"
@@ -227,6 +362,10 @@ class ShardSpec:
     def build_execution_engine(self):
         """The shard's execution engine (``None`` for ideal fills)."""
         return self.execution.build_engine(self.cost.commission)
+
+    def build_risk_engine(self):
+        """The shard's risk engine (``None`` for the unconstrained path)."""
+        return self.risk.build_engine()
 
     def config(self) -> ExperimentConfig:
         """The :class:`ExperimentConfig` this shard runs.
@@ -254,6 +393,7 @@ class ShardSpec:
             "seed": self.seed,
             "cost": encode_tagged(self.cost),
             "execution": encode_tagged(self.execution),
+            "risk": encode_tagged(self.risk),
             "overrides": encode_tagged(dict(self.overrides)),
         }
 
@@ -268,11 +408,17 @@ class ShardSpec:
             seed=int(payload["seed"]),
             cost=decode_tagged(payload["cost"]),
             # Pre-execution-subsystem stores carry no execution entry;
-            # they ran the ideal path.
+            # they ran the ideal path.  Likewise pre-risk stores ran
+            # unconstrained.
             execution=(
                 decode_tagged(payload["execution"])
                 if "execution" in payload
                 else ZERO_EXECUTION
+            ),
+            risk=(
+                decode_tagged(payload["risk"])
+                if "risk" in payload
+                else NO_RISK
             ),
             overrides=_freeze_overrides(overrides),
         )
@@ -290,7 +436,7 @@ def _freeze_overrides(overrides: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ..
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """The grid: seeds × strategies × windows × costs × execution."""
+    """The grid: seeds × strategies × windows × costs × execution × risk."""
 
     name: str
     profile: str = "standard"
@@ -299,6 +445,7 @@ class ExperimentSpec:
     seeds: Tuple[int, ...] = (7,)
     cost_regimes: Tuple[CostRegime, ...] = DEFAULT_COST_REGIMES
     execution_regimes: Tuple[ExecutionRegime, ...] = DEFAULT_EXECUTION_REGIMES
+    risk_regimes: Tuple[RiskRegime, ...] = DEFAULT_RISK_REGIMES
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self):
@@ -308,6 +455,7 @@ class ExperimentSpec:
             ("seeds", self.seeds),
             ("cost_regimes", self.cost_regimes),
             ("execution_regimes", self.execution_regimes),
+            ("risk_regimes", self.risk_regimes),
         ):
             object.__setattr__(self, label, tuple(values))
             if not getattr(self, label):
@@ -319,6 +467,10 @@ class ExperimentSpec:
         ):
             raise ValueError(
                 f"spec {self.name!r}: execution regime names must be unique"
+            )
+        if len(set(r.name for r in self.risk_regimes)) != len(self.risk_regimes):
+            raise ValueError(
+                f"spec {self.name!r}: risk regime names must be unique"
             )
         object.__setattr__(
             self, "overrides", _freeze_overrides(dict(self.overrides))
@@ -343,19 +495,21 @@ class ExperimentSpec:
                 seeds = self.seeds if is_trainable(strategy) else self.seeds[:1]
                 for cost in self.cost_regimes:
                     for execution in self.execution_regimes:
-                        for seed in seeds:
-                            shards.append(
-                                ShardSpec(
-                                    sweep=self.name,
-                                    profile=self.profile,
-                                    experiment=experiment,
-                                    strategy=strategy,
-                                    seed=seed,
-                                    cost=cost,
-                                    execution=execution,
-                                    overrides=self.overrides,
+                        for risk in self.risk_regimes:
+                            for seed in seeds:
+                                shards.append(
+                                    ShardSpec(
+                                        sweep=self.name,
+                                        profile=self.profile,
+                                        experiment=experiment,
+                                        strategy=strategy,
+                                        seed=seed,
+                                        cost=cost,
+                                        execution=execution,
+                                        risk=risk,
+                                        overrides=self.overrides,
+                                    )
                                 )
-                            )
         return shards
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -367,6 +521,7 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "cost_regimes": encode_tagged(list(self.cost_regimes)),
             "execution_regimes": encode_tagged(list(self.execution_regimes)),
+            "risk_regimes": encode_tagged(list(self.risk_regimes)),
             "overrides": encode_tagged(dict(self.overrides)),
         }
 
@@ -383,6 +538,11 @@ class ExperimentSpec:
                 tuple(decode_tagged(payload["execution_regimes"]))
                 if "execution_regimes" in payload
                 else DEFAULT_EXECUTION_REGIMES
+            ),
+            risk_regimes=(
+                tuple(decode_tagged(payload["risk_regimes"]))
+                if "risk_regimes" in payload
+                else DEFAULT_RISK_REGIMES
             ),
             overrides=_freeze_overrides(decode_tagged(payload["overrides"])),
         )

@@ -137,12 +137,22 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
     with_shortfall = any("shortfall_mean" in row for row in rows_in)
     # Shortfall rows always name their regime, whatever it is called.
     with_exec = bool(exec_names) and (exec_names != {"ideal"} or with_shortfall)
+    # Same discipline for the risk axis: the Risk/Violation columns only
+    # appear when the sweep exercised it — all-none sweeps and pre-risk
+    # aggregates render exactly as before.
+    risk_names = {str(row["risk"]) for row in rows_in if "risk" in row}
+    with_violation = any("violation_rate_mean" in row for row in rows_in)
+    with_risk = bool(risk_names) and (risk_names != {"none"} or with_violation)
     headers = ["Exp", "Strategy", "Cost"]
     if with_exec:
         headers += ["Exec"]
+    if with_risk:
+        headers += ["Risk"]
     headers += ["Seeds", "MDD", "fAPV", "Sharpe"]
     if with_shortfall:
         headers += ["Shortfall"]
+    if with_violation:
+        headers += ["Violation"]
     if with_paper:
         headers += ["fAPV(paper)"]
     # Sweep strategies are registry keys; the paper tables use display
@@ -159,6 +169,8 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
         ]
         if with_exec:
             cells.append(row.get("execution", "-"))
+        if with_risk:
+            cells.append(row.get("risk", "-"))
         cells += [
             row["seeds"],
             _pm(row["mdd_mean"], row["mdd_std"]),
@@ -169,6 +181,12 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
             cells.append(
                 _pm(row["shortfall_mean"], row["shortfall_std"])
                 if "shortfall_mean" in row
+                else "-"
+            )
+        if with_violation:
+            cells.append(
+                _pm(row["violation_rate_mean"], row["violation_rate_std"])
+                if "violation_rate_mean" in row
                 else "-"
             )
         if with_paper:
@@ -183,11 +201,15 @@ def render_sweep_table(sweep, with_paper: bool = True) -> str:
 def render_walkforward_table(report) -> str:
     """Per-fold aggregate table for a walk-forward report."""
     rows_in = report.fold_aggregates()
-    # Execution-aware walks carry an implementation-shortfall column.
+    # Execution-aware walks carry an implementation-shortfall column;
+    # risk-aware walks a constraint-violation column.
     with_shortfall = any("shortfall_mean" in row for row in rows_in)
+    with_violation = any("violation_rate_mean" in row for row in rows_in)
     headers = ["Fold", "Test window", "Strategy", "Seeds", "MDD", "fAPV", "Sharpe"]
     if with_shortfall:
         headers += ["Shortfall"]
+    if with_violation:
+        headers += ["Violation"]
     rows: List[List[object]] = []
     for row in rows_in:
         cells: List[object] = [
@@ -203,6 +225,12 @@ def render_walkforward_table(report) -> str:
             cells.append(
                 _pm(row["shortfall_mean"], row["shortfall_std"])
                 if "shortfall_mean" in row
+                else "-"
+            )
+        if with_violation:
+            cells.append(
+                _pm(row["violation_rate_mean"], row["violation_rate_std"])
+                if "violation_rate_mean" in row
                 else "-"
             )
         rows.append(cells)

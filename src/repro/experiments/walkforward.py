@@ -90,6 +90,9 @@ class FoldRecord:
     window: ExperimentWindow
     metrics: Dict[str, float]
     regimes: Dict[str, Dict[str, float]]
+    #: Per-constraint binding counts of this fold's back-test (empty
+    #: without a risk engine) — which limits actually shaped the book.
+    bindings: Dict[str, int] = field(default_factory=dict)
 
 
 def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
@@ -121,10 +124,18 @@ class WalkForwardReport:
                 "test_end": window.test_end,
                 "seeds": len(recs),
             }
-            metrics = ("fapv", "mdd", "sharpe") + (
-                ("shortfall",)
-                if all("shortfall" in r.metrics for r in recs)
-                else ()
+            metrics = (
+                ("fapv", "mdd", "sharpe")
+                + (
+                    ("shortfall",)
+                    if all("shortfall" in r.metrics for r in recs)
+                    else ()
+                )
+                + (
+                    ("violation_rate",)
+                    if all("violation_rate" in r.metrics for r in recs)
+                    else ()
+                )
             )
             for metric in metrics:
                 mean, std = _mean_std([r.metrics[metric] for r in recs])
@@ -132,6 +143,30 @@ class WalkForwardReport:
                 row[f"{metric}_std"] = std
             rows.append(row)
         return rows
+
+    def binding_attribution(self) -> List[Dict[str, object]]:
+        """Per (fold, strategy) constraint-binding counts, summed over
+        seeds — which limit shaped each fold's book.  Empty when the
+        walk ran without a risk engine."""
+        groups: Dict[Tuple[int, str], Dict[str, int]] = {}
+        seeds: Dict[Tuple[int, str], int] = {}
+        for rec in self.records:
+            if not rec.bindings:
+                continue
+            key = (rec.fold, rec.strategy)
+            counts = groups.setdefault(key, {})
+            for name, count in rec.bindings.items():
+                counts[name] = counts.get(name, 0) + int(count)
+            seeds[key] = seeds.get(key, 0) + 1
+        return [
+            {
+                "fold": fold,
+                "strategy": strategy,
+                "seeds": seeds[(fold, strategy)],
+                "bindings": dict(sorted(groups[(fold, strategy)].items())),
+            }
+            for (fold, strategy) in sorted(groups)
+        ]
 
     def regime_aggregates(self) -> List[Dict[str, object]]:
         """Per (regime, strategy) aggregates across folds and seeds.
@@ -215,6 +250,12 @@ class WalkForwardEvaluator:
         fold's back-test then prices rebalances against liquidity and
         fold metrics gain an ``shortfall`` entry (implementation
         shortfall vs the commission-only benchmark).
+    risk:
+        Optional :class:`~repro.risk.RiskEngine`; every fold's
+        decisions are then projected onto the constraint set, fold
+        metrics gain ``violation_rate``/``lockout_rate`` entries, and
+        records carry per-fold binding-constraint attribution
+        (:meth:`WalkForwardReport.binding_attribution`).
     """
 
     def __init__(
@@ -228,6 +269,7 @@ class WalkForwardEvaluator:
         schedule: Optional[RegimeSchedule] = None,
         registry=None,
         execution=None,
+        risk=None,
     ):
         if not folds:
             raise ValueError("need at least one fold")
@@ -247,6 +289,7 @@ class WalkForwardEvaluator:
             observation=config.observation,
             commission=config.commission,
             execution=execution,
+            risk=risk,
         )
 
     # ------------------------------------------------------------------
@@ -302,6 +345,15 @@ class WalkForwardEvaluator:
         }
         if "implementation_shortfall" in result.extra:
             metrics["shortfall"] = result.extra["implementation_shortfall"]
+        bindings: Dict[str, int] = {}
+        risk_summary = result.extra.get("risk")
+        if risk_summary:
+            metrics["violation_rate"] = float(risk_summary["violation_rate"])
+            metrics["lockout_rate"] = float(risk_summary["lockout_rate"])
+            bindings = {
+                str(k): int(v)
+                for k, v in risk_summary["binding_counts"].items()
+            }
         return FoldRecord(
             fold=fold_index,
             strategy=strategy,
@@ -309,6 +361,7 @@ class WalkForwardEvaluator:
             window=window,
             metrics=metrics,
             regimes=per_regime_metrics(result.values, stamps, self.schedule),
+            bindings=bindings,
         )
 
     # ------------------------------------------------------------------

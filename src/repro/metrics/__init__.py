@@ -4,28 +4,34 @@ from .performance import (
     BacktestMetrics,
     annualized_volatility,
     calmar_ratio,
+    constraint_violation_rate,
     evaluate_backtest,
     final_apv,
     hit_rate,
     implementation_shortfall,
     max_drawdown,
+    max_drawdown_duration,
     periodic_returns,
     sharpe_ratio,
     sortino_ratio,
     turnover,
+    turnover_series,
 )
 
 __all__ = [
     "BacktestMetrics",
     "annualized_volatility",
     "calmar_ratio",
+    "constraint_violation_rate",
     "evaluate_backtest",
     "final_apv",
     "hit_rate",
     "implementation_shortfall",
     "max_drawdown",
+    "max_drawdown_duration",
     "periodic_returns",
     "sharpe_ratio",
     "sortino_ratio",
     "turnover",
+    "turnover_series",
 ]

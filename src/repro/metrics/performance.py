@@ -117,6 +117,57 @@ def turnover(weights: np.ndarray) -> float:
     return float(np.abs(np.diff(w, axis=0)).sum(axis=1).mean())
 
 
+def turnover_series(weights: np.ndarray) -> np.ndarray:
+    """Per-decision L1 weight changes ``‖w_t − w_{t−1}‖₁``.
+
+    The series :func:`turnover` averages — what a
+    :class:`~repro.risk.TurnoverBudget` bounds decision by decision, so
+    budget compliance is checkable pointwise: under a budget ``τ``
+    every entry is ``<= τ`` (up to float epsilon).  A ``(T, N)`` weight
+    matrix yields ``T − 1`` entries; fewer than two rows yield an empty
+    array.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"weights must be 2-D (T, N), got shape {w.shape}")
+    if w.shape[0] < 2:
+        return np.empty(0, dtype=np.float64)
+    return np.abs(np.diff(w, axis=0)).sum(axis=1)
+
+
+def max_drawdown_duration(values: Sequence[float]) -> int:
+    """Longest stretch of consecutive periods spent below a prior peak.
+
+    The time dimension :func:`max_drawdown` ignores: how long the
+    portfolio stayed underwater, in periods.  A new all-time high ends
+    the stretch; 0 for a monotonically non-decreasing series.  (A
+    :class:`~repro.risk.DrawdownLockout` shows up here as lockout
+    periods extending the underwater stretch.)
+    """
+    v = _values_array(values)
+    running_peak = np.maximum.accumulate(v)
+    underwater = v < running_peak
+    longest = current = 0
+    for below in underwater:
+        current = current + 1 if below else 0
+        longest = max(longest, current)
+    return int(longest)
+
+
+def constraint_violation_rate(binding_history: Sequence[Dict[str, bool]]) -> float:
+    """Fraction of decisions on which at least one constraint bound.
+
+    ``binding_history`` is a per-decision sequence of
+    ``{constraint_name: bound}`` masks — exactly what
+    ``PortfolioEnv.risk_binding_history`` records.  Returns 0.0 for an
+    empty history (no decisions, or no risk engine).
+    """
+    if not binding_history:
+        return 0.0
+    violated = sum(1 for binding in binding_history if any(binding.values()))
+    return violated / len(binding_history)
+
+
 def hit_rate(values: Sequence[float]) -> float:
     """Fraction of periods with positive return."""
     rets = periodic_returns(values)

@@ -1,0 +1,249 @@
+"""Portfolio risk-limit zoo: the constraints the engine composes.
+
+Each limit describes one family of restrictions on the post-trade
+weight vector ``w`` (cash first, on the probability simplex), expressed
+so that :class:`~repro.risk.engine.RiskEngine` can fold the whole set
+into one closed-form projection over ``(batch, assets)`` arrays:
+
+* :class:`PositionCap` — per-asset maximum weight (scalar or per-asset
+  array): no single position may exceed its cap.
+* :class:`CashFloor` — minimum cash weight: gross asset exposure is
+  bounded by ``1 − min_cash``.
+* :class:`TurnoverBudget` — maximum L1 rebalance per decision:
+  ``‖w − w'‖₁ ≤ max_turnover`` against the drifted pre-trade weights.
+* :class:`LeverageSchedule` — time-indexed gross-exposure cap: a step
+  schedule of ``(start_index, gross)`` breakpoints (a regime calendar
+  compiles down to exactly this) bounding ``Σ_i w_i`` for ``i ≥ 1``.
+* :class:`DrawdownLockout` — the one *stateful* limit: once the
+  portfolio loses ``max_drawdown`` from its high-water mark, the book
+  is force-flattened to cash for ``lockout_periods`` decisions, then
+  trading re-enters with the mark reset to the current value.  Its
+  :class:`LockoutState` is explicit (not hidden inside the limit), so
+  one engine instance can guard many sessions and the state can
+  round-trip through serving checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "CashFloor",
+    "DrawdownLockout",
+    "LeverageSchedule",
+    "LockoutState",
+    "PositionCap",
+    "RiskLimit",
+    "TurnoverBudget",
+]
+
+
+class RiskLimit:
+    """Marker base class for everything the risk engine composes."""
+
+    __slots__ = ()
+
+
+class PositionCap(RiskLimit):
+    """Per-asset maximum post-trade weight.
+
+    ``max_weight`` is a scalar applied to every asset or a per-asset
+    array (cash excluded — cash is never capped).  Caps bind the
+    *target*: drift can push a holding above its cap between decisions;
+    the next projection sells it back down (unless a turnover budget
+    rations the trade).
+    """
+
+    __slots__ = ("max_weight",)
+
+    def __init__(self, max_weight: Union[float, Sequence[float]]):
+        cap = np.asarray(max_weight, dtype=np.float64)
+        if cap.ndim not in (0, 1):
+            raise ValueError(f"max_weight must be a scalar or 1-D, got shape {cap.shape}")
+        if np.any(cap <= 0.0) or np.any(cap > 1.0):
+            raise ValueError("max_weight entries must lie in (0, 1]")
+        self.max_weight = float(cap) if cap.ndim == 0 else cap
+
+    def caps(self, n_assets: int) -> np.ndarray:
+        """The ``(n_assets,)`` per-asset cap vector this limit names."""
+        cap = np.asarray(self.max_weight, dtype=np.float64)
+        if cap.ndim == 0:
+            return np.full(n_assets, float(cap))
+        if cap.shape[0] != n_assets:
+            raise ValueError(
+                f"per-asset cap has {cap.shape[0]} entries for {n_assets} assets"
+            )
+        return cap
+
+    def __repr__(self) -> str:
+        return f"PositionCap({self.max_weight!r})"
+
+
+class CashFloor(RiskLimit):
+    """Minimum cash weight — a standing liquidity reserve."""
+
+    __slots__ = ("min_cash",)
+
+    def __init__(self, min_cash: float):
+        if not 0.0 <= min_cash < 1.0:
+            raise ValueError(f"min_cash must lie in [0, 1), got {min_cash}")
+        self.min_cash = float(min_cash)
+
+    def __repr__(self) -> str:
+        return f"CashFloor({self.min_cash})"
+
+
+class TurnoverBudget(RiskLimit):
+    """Cap the L1 rebalance ``‖w − w'‖₁`` per decision.
+
+    When the requested (already cap-projected) trade exceeds the
+    budget, the executed trade is the same direction scaled down so the
+    realized turnover equals ``max_turnover`` exactly — L1 distance is
+    homogeneous along the segment from the drifted weights to the
+    target, so the scaling is closed-form.
+    """
+
+    __slots__ = ("max_turnover",)
+
+    def __init__(self, max_turnover: float):
+        if max_turnover <= 0.0:
+            raise ValueError(f"max_turnover must be positive, got {max_turnover}")
+        self.max_turnover = float(max_turnover)
+
+    def __repr__(self) -> str:
+        return f"TurnoverBudget({self.max_turnover})"
+
+
+class LeverageSchedule(RiskLimit):
+    """Time-indexed gross-exposure cap.
+
+    ``base`` bounds ``Σ asset weights`` everywhere; ``steps`` is an
+    optional sequence of ``(start_index, gross)`` breakpoints — from a
+    breakpoint's decision index onward (until the next breakpoint) the
+    gross exposure may not exceed its value.  A regime-driven schedule
+    ("halve exposure in crash regimes") compiles into exactly these
+    breakpoints.  Long-only portfolios live on the simplex, so gross
+    exposure is ``1 − cash`` and caps above 1 never bind.
+    """
+
+    __slots__ = ("base", "starts", "values")
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        steps: Sequence[Tuple[int, float]] = (),
+    ):
+        if not 0.0 < base <= 1.0:
+            raise ValueError(f"base gross must lie in (0, 1], got {base}")
+        self.base = float(base)
+        rows = sorted((int(t), float(g)) for t, g in steps)
+        for _, gross in rows:
+            if not 0.0 < gross <= 1.0:
+                raise ValueError(f"schedule gross must lie in (0, 1], got {gross}")
+        self.starts = np.array([t for t, _ in rows], dtype=np.int64)
+        self.values = np.array([g for _, g in rows], dtype=np.float64)
+
+    def gross_at(self, t: Union[int, np.ndarray]) -> np.ndarray:
+        """Gross-exposure cap in force at decision index ``t`` (vectorized)."""
+        t = np.asarray(t, dtype=np.int64)
+        if self.starts.size == 0:
+            return np.broadcast_to(np.float64(self.base), t.shape).copy()
+        idx = np.searchsorted(self.starts, t, side="right")
+        out = np.where(idx > 0, self.values[np.maximum(idx - 1, 0)], self.base)
+        return np.asarray(out, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        steps = list(zip(self.starts.tolist(), self.values.tolist()))
+        return f"LeverageSchedule({self.base}, steps={steps})"
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class LockoutState:
+    """Per-portfolio drawdown-guard state.
+
+    ``hwm`` is the session high-water mark of portfolio value,
+    ``remaining`` the number of forced-cash decisions left (0 =
+    trading), ``triggers`` how many lockouts have fired.  Plain floats
+    and ints so the state JSON-round-trips through serving checkpoints.
+    """
+
+    hwm: float
+    remaining: int = 0
+    triggers: int = 0
+
+    @property
+    def locked(self) -> bool:
+        return self.remaining > 0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "hwm": float(self.hwm),
+            "remaining": int(self.remaining),
+            "triggers": int(self.triggers),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "LockoutState":
+        return cls(
+            hwm=float(payload["hwm"]),
+            remaining=int(payload["remaining"]),
+            triggers=int(payload["triggers"]),
+        )
+
+    def copy(self) -> "LockoutState":
+        return LockoutState(self.hwm, self.remaining, self.triggers)
+
+
+class DrawdownLockout(RiskLimit):
+    """Force-flatten to cash after a drawdown from the high-water mark.
+
+    When ``(hwm − value)/hwm ≥ max_drawdown`` the book is flattened and
+    stays fully in cash for ``lockout_periods`` consecutive decisions
+    (the triggering decision included).  On re-entry the high-water
+    mark resets to the current value, so the guard arms against *new*
+    losses instead of immediately re-firing on the old peak.
+    """
+
+    __slots__ = ("max_drawdown", "lockout_periods")
+
+    def __init__(self, max_drawdown: float, lockout_periods: int):
+        if not 0.0 < max_drawdown < 1.0:
+            raise ValueError(f"max_drawdown must lie in (0, 1), got {max_drawdown}")
+        if int(lockout_periods) < 1:
+            raise ValueError(f"lockout_periods must be >= 1, got {lockout_periods}")
+        self.max_drawdown = float(max_drawdown)
+        self.lockout_periods = int(lockout_periods)
+
+    def initial_state(self, value: float = 1.0) -> LockoutState:
+        if value <= 0.0:
+            raise ValueError("portfolio value must be positive")
+        return LockoutState(hwm=float(value))
+
+    def update(self, state: LockoutState, value: float) -> LockoutState:
+        """Advance the guard one decision; returns the *new* state.
+
+        Called with the portfolio value as of this decision, before the
+        weights are chosen.  The returned state's :attr:`~LockoutState.locked`
+        says whether this decision must be flattened to cash.  The input
+        state is not mutated (serving stages decisions transactionally).
+        """
+        value = float(value)
+        new = state.copy()
+        if new.remaining > 0:
+            new.remaining -= 1
+            if new.remaining == 0:
+                # Re-entry: arm against new losses from here.
+                new.hwm = value
+            return new
+        new.hwm = max(new.hwm, value)
+        if (new.hwm - value) / new.hwm >= self.max_drawdown:
+            new.remaining = self.lockout_periods
+            new.triggers += 1
+        return new
+
+    def __repr__(self) -> str:
+        return f"DrawdownLockout({self.max_drawdown}, {self.lockout_periods})"

@@ -34,10 +34,15 @@ import numpy as np
 from ..agents.base import Agent, concat_states
 from ..autograd import no_grad
 from ..data.market import MarketData, market_from_state, market_to_state
-from ..envs.costs import DEFAULT_COMMISSION
+from ..envs.costs import (
+    DEFAULT_COMMISSION,
+    drifted_weights,
+    transaction_remainder_exact,
+)
 from ..envs.observations import ObservationConfig
 from ..envs.portfolio import normalize_action
 from ..registry import DEFAULT_REGISTRY, StrategyRegistry
+from ..risk import LockoutState
 from ..snn.neurons import LIFParameters
 from ..utils.serialization import (
     PathLike,
@@ -132,6 +137,11 @@ class RebalanceResponse:
     cost, peak participation, fillable fraction) attached only when the
     service carries a non-free execution engine; decisions themselves
     are never altered by it.
+
+    ``risk`` is the guardrail report attached only when the service
+    carries a risk engine.  Unlike ``execution`` it is *not* advisory:
+    ``weights`` are the post-projection weights actually served —
+    constraints bound in serving exactly as they do in back-test.
     """
 
     session_id: str
@@ -139,6 +149,7 @@ class RebalanceResponse:
     weights: np.ndarray
     strategy: str
     execution: Optional[Dict[str, float]] = None
+    risk: Optional[Dict[str, Any]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         payload = {
@@ -149,6 +160,8 @@ class RebalanceResponse:
         }
         if self.execution is not None:
             payload["execution"] = dict(self.execution)
+        if self.risk is not None:
+            payload["risk"] = dict(self.risk)
         return payload
 
 
@@ -191,6 +204,10 @@ class _StagedState:
     next_t: int
     decisions: int = 0
     first_t: Optional[int] = None
+    # Guardrail paper-book state (risk-engine services only).
+    risk_value: float = 1.0
+    risk_w_drifted: Optional[np.ndarray] = None
+    lockout: Optional[LockoutState] = None
 
 
 @dataclass
@@ -207,6 +224,16 @@ class _Session:
     start: int
     w_prev: np.ndarray
     decisions: int = 0
+    # Guardrail paper book (risk-engine services only): simulated
+    # portfolio value, drifted pre-trade weights, and lockout state —
+    # the same recurrence PortfolioEnv steps, so drawdown lockouts
+    # trigger identically live and in back-test.  ``risk_w_drifted is
+    # None`` means "not yet armed" (fresh sessions, and sessions
+    # restored from pre-risk checkpoints — they arm lazily on the next
+    # decision).
+    risk_value: float = 1.0
+    risk_w_drifted: Optional[np.ndarray] = None
+    lockout: Optional[LockoutState] = None
 
 
 class PortfolioService:
@@ -229,6 +256,17 @@ class PortfolioService:
         micro-batched hot path does no extra work per round.  Advisory
         only: served weights are never altered, and the engine is a
         runtime setting (not persisted in checkpoints).
+    risk:
+        Optional :class:`~repro.risk.RiskEngine` — per-session
+        guardrails.  Every decision is projected onto the constraint
+        set before it is served (*not* advisory: the served weights are
+        the post-projection ones), driven by a per-session paper book
+        stepping the exact :class:`~repro.envs.portfolio.PortfolioEnv`
+        recurrence, so drawdown lockouts fire identically live and in
+        back-test.  ``None`` or a null engine (no limits) skips the
+        layer entirely.  The engine is a runtime setting; the
+        per-session guardrail state (value, high-water mark, lockout)
+        persists through checkpoints.
     """
 
     def __init__(
@@ -236,6 +274,7 @@ class PortfolioService:
         registry: Optional[StrategyRegistry] = None,
         commission: float = DEFAULT_COMMISSION,
         execution=None,
+        risk=None,
     ):
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.commission = float(commission)
@@ -246,6 +285,9 @@ class PortfolioService:
             if execution is not None and not execution.is_free
             else None
         )
+        # Same discipline: a null risk engine is dropped outright so the
+        # hot path never pays for an empty projection.
+        self._risk = risk if risk is not None and not risk.is_null else None
         self.stats = ServiceStats()
         self._sessions: Dict[str, _Session] = {}
         self._markets: Dict[str, MarketData] = {}
@@ -258,6 +300,12 @@ class PortfolioService:
         """The active execution engine (``None`` when unset, or when
         the configured model was free and got dropped at construction)."""
         return self._execution
+
+    @property
+    def risk(self):
+        """The active risk engine (``None`` when unset, or when the
+        configured engine was null and got dropped at construction)."""
+        return self._risk
 
     # -- markets -------------------------------------------------------
     def register_market(self, name: str, data: MarketData) -> str:
@@ -589,7 +637,15 @@ class PortfolioService:
                 state = staged.get(req.session_id)
                 if state is None:
                     state = _StagedState(
-                        w_prev=session.w_prev, next_t=session.next_t
+                        w_prev=session.w_prev,
+                        next_t=session.next_t,
+                        risk_value=session.risk_value,
+                        risk_w_drifted=session.risk_w_drifted,
+                        lockout=(
+                            session.lockout.copy()
+                            if session.lockout is not None
+                            else None
+                        ),
                     )
                     staged[req.session_id] = state
                 t = int(req.t) if req.t is not None else state.next_t
@@ -641,6 +697,10 @@ class PortfolioService:
                 session = self._sessions[session_id]
                 session.w_prev = state.w_prev
                 session.next_t = state.next_t
+                if self._risk is not None:
+                    session.risk_value = state.risk_value
+                    session.risk_w_drifted = state.risk_w_drifted
+                    session.lockout = state.lockout
                 if session.decisions == 0 and state.first_t is not None:
                     # The session's true anchor is the first index it
                     # actually served (an explicit-t first request may
@@ -782,6 +842,9 @@ class PortfolioService:
         except ValueError as exc:
             raise InvalidStrategyOutput(str(exc)) from None
         state = staged[session.session_id]
+        risk_info = None
+        if self._risk is not None:
+            weights, risk_info = self._apply_risk(session, state, t, weights)
         state.w_prev = weights.copy()
         if state.decisions == 0:
             state.first_t = t
@@ -792,7 +855,60 @@ class PortfolioService:
             weights=weights,
             strategy=session.spec["strategy"],
             execution=execution_info,
+            risk=risk_info,
         )
+
+    def _apply_risk(
+        self,
+        session: _Session,
+        state: "_StagedState",
+        t: int,
+        weights: np.ndarray,
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Project one staged decision onto the constraint set.
+
+        Mirrors ``PortfolioEnv.step`` exactly — project against the
+        drifted pre-trade weights and the paper book's value, then
+        advance the book one period (μ from the exact transaction
+        remainder, growth from the panel's realised price relative) so
+        the *next* decision's drawdown guard sees the value through
+        this decision's holding period.  All writes go to the staged
+        state; an aborted batch leaves the session's guardrails
+        untouched.
+        """
+        if state.risk_w_drifted is None:
+            # Arm lazily: fresh sessions, and sessions restored from
+            # pre-risk checkpoints, baseline the guard at the current
+            # book (value 1.0, drift = last served target).
+            state.risk_w_drifted = np.asarray(state.w_prev, dtype=np.float64).copy()
+            state.lockout = self._risk.initial_state(state.risk_value)
+        report, state.lockout = self._risk.step(
+            state.risk_w_drifted,
+            weights,
+            t=t - session.start,
+            value=state.risk_value,
+            state=state.lockout,
+        )
+        weights = report.weights
+        mu = transaction_remainder_exact(
+            state.risk_w_drifted, weights, self.commission, self.commission
+        )
+        rel = session.data.close[t + 1] / session.data.close[t]
+        y = np.empty(rel.shape[0] + 1)
+        y[0] = 1.0
+        y[1:] = rel
+        state.risk_value *= mu * float(y @ weights)
+        state.risk_w_drifted = drifted_weights(weights, y)
+        risk_info: Dict[str, Any] = {
+            "pre_turnover": report.pre_turnover,
+            "post_turnover": report.post_turnover,
+            "locked": report.locked,
+            "binding": report.binding_names(),
+            "value": state.risk_value,
+        }
+        if state.lockout is not None:
+            risk_info["lockout"] = state.lockout.to_json_dict()
+        return weights, risk_info
 
     # -- checkpointing -------------------------------------------------
     def save_checkpoint(self, path: PathLike) -> Path:
@@ -841,22 +957,39 @@ class PortfolioService:
                         # shards with identical constructor params).
                         "agent_key": session.agent_key if session.shared else None,
                     }
-                sessions_payload.append(
-                    {
-                        "session_id": session.session_id,
-                        "agent": agent_keys[session.agent_key],
-                        "market": session.market,
-                        "next_t": session.next_t,
-                        "start": session.start,
-                        "decisions": session.decisions,
-                        "w_prev": [float(w) for w in session.w_prev],
-                        "observation": _encode_value(session.observation),
+                session_payload = {
+                    "session_id": session.session_id,
+                    "agent": agent_keys[session.agent_key],
+                    "market": session.market,
+                    "next_t": session.next_t,
+                    "start": session.start,
+                    "decisions": session.decisions,
+                    "w_prev": [float(w) for w in session.w_prev],
+                    "observation": _encode_value(session.observation),
+                }
+                if session.risk_w_drifted is not None:
+                    # Armed guardrail state (risk-engine services): the
+                    # paper book and its high-water mark round-trip, so
+                    # a restored session resumes mid-lockout rather
+                    # than re-arming fresh.
+                    session_payload["risk"] = {
+                        "value": float(session.risk_value),
+                        "w_drifted": [
+                            float(w) for w in session.risk_w_drifted
+                        ],
+                        "lockout": (
+                            session.lockout.to_json_dict()
+                            if session.lockout is not None
+                            else None
+                        ),
                     }
-                )
+                sessions_payload.append(session_payload)
             save_json(
                 path / "manifest.json",
                 {
-                    "version": 1,
+                    # Version 2 adds the optional per-session "risk"
+                    # entry; everything else is the version-1 schema.
+                    "version": 2,
                     "commission": self.commission,
                     "markets": market_files,
                     "agents": agent_entries,
@@ -867,14 +1000,26 @@ class PortfolioService:
 
     @classmethod
     def load_checkpoint(
-        cls, path: PathLike, registry: Optional[StrategyRegistry] = None
+        cls,
+        path: PathLike,
+        registry: Optional[StrategyRegistry] = None,
+        risk=None,
     ) -> "PortfolioService":
-        """Rebuild a service whose next decisions match the saved one's."""
+        """Rebuild a service whose next decisions match the saved one's.
+
+        Accepts version-1 (pre-risk) and version-2 checkpoints.  Like
+        the execution engine, ``risk`` is a runtime setting passed at
+        load; persisted guardrail state (version 2) is restored either
+        way, and version-1 sessions simply arm fresh on their next
+        decision.
+        """
         path = Path(path)
         manifest = load_json(path / "manifest.json")
-        if manifest.get("version") != 1:
+        if manifest.get("version") not in (1, 2):
             raise ValueError(f"unsupported checkpoint version {manifest.get('version')!r}")
-        service = cls(registry=registry, commission=manifest["commission"])
+        service = cls(
+            registry=registry, commission=manifest["commission"], risk=risk
+        )
 
         markets: Dict[str, MarketData] = {}
         for name, filename in manifest["markets"].items():
@@ -924,6 +1069,16 @@ class PortfolioService:
                 w_prev=np.asarray(payload["w_prev"], dtype=np.float64),
                 decisions=int(payload["decisions"]),
             )
+            risk_state = payload.get("risk")
+            if risk_state is not None:
+                session.risk_value = float(risk_state["value"])
+                session.risk_w_drifted = np.asarray(
+                    risk_state["w_drifted"], dtype=np.float64
+                )
+                if risk_state.get("lockout") is not None:
+                    session.lockout = LockoutState.from_json_dict(
+                        risk_state["lockout"]
+                    )
             if not shared:
                 agent.begin_backtest(panel)
                 # Classical strategies anchor their relatives window at
