@@ -22,6 +22,11 @@ serving-relevant workloads plus the training loop:
   the layer's zero-constraint invariant), and the ``caps`` /
   ``lockout`` presets, so the per-decision cost of constraint
   projection is on the perf trajectory too.
+* **resilience** — the fault-injection layer's no-plan invariant: an
+  empty :class:`~repro.resilience.FaultPlan` over healthy inputs must
+  be bit-identical to the unhardened code across the data plane, the
+  sweep engine (manifest equality), and serving (decision JSON), and
+  the hardened serving dispatch must cost ≤ 1.1x the plain path.
 * **training** — ``PolicyTrainer`` minibatch steps on a SharedSDP agent
   three ways: the *seed* path (closure-graph forward/backward plus the
   seed's allocating prologue — ``select_assets`` with full-panel
@@ -484,6 +489,132 @@ def bench_risk(panels, n_assets: int) -> Dict:
     }
 
 
+def bench_resilience(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
+    """No-plan parity + hardened-path overhead for the resilience layer.
+
+    The layer's core invariant, on the perf trajectory: a ``None`` (or
+    empty) fault plan over all-healthy inputs must be *bit-identical* to
+    the unhardened code across the data plane (generator → back-test),
+    the sweep engine (manifests), and serving (decision JSON) — and the
+    hardened serving dispatch (circuit breaker accounting + per-request
+    isolation) must cost no more than ~1.1x the plain transactional
+    path.  ``--check`` gates on both.
+    """
+    import tempfile
+
+    from repro.envs import Backtester
+    from repro.experiments import ExperimentSpec, SweepRunner
+    from repro.registry import create as create_strategy
+    from repro.resilience import FaultPlan
+    from repro.serving import ServingResilience
+
+    empty_plan = FaultPlan(seed=0)  # no rates armed — normalizes to None
+
+    # -- data plane + backtest: empty plan / no repair touches no byte.
+    span = ("2019/01/01", "2019/02/01", 7200)
+    assets = list(range(n_assets))
+    plain_panel = MarketGenerator(seed=321).generate(*span).select_assets(assets)
+    armed_panel = (
+        MarketGenerator(seed=321)
+        .generate(*span, faults=empty_plan, repair=None)
+        .select_assets(assets)
+    )
+    panel_identical = all(
+        np.array_equal(getattr(plain_panel, f), getattr(armed_panel, f))
+        for f in ("timestamps", "open", "high", "low", "close", "volume")
+    )
+    engine = Backtester(observation=OBSERVATION)
+    bt_plain = engine.run(create_strategy("ucrp"), plain_panel)
+    bt_armed = engine.run(create_strategy("ucrp"), armed_panel)
+    backtest_identical = (
+        panel_identical
+        and np.array_equal(bt_plain.values, bt_armed.values)
+        and np.array_equal(bt_plain.weights, bt_armed.weights)
+    )
+
+    # -- sweep engine: retry-enabled runner with an empty plan writes a
+    # manifest equal to the plain runner's, shard for shard.
+    spec = ExperimentSpec(
+        name="bench-resilience",
+        profile="quick",
+        experiments=(1,),
+        strategies=("ucrp",),
+        seeds=(0,),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        plain_runner = SweepRunner(spec, Path(tmp) / "plain")
+        plain_runner.run(parallel=False)
+        armed_runner = SweepRunner(
+            spec, Path(tmp) / "armed", fault_plan=empty_plan
+        )
+        armed_runner.run(parallel=False)
+        sweep_identical = (
+            plain_runner.store.read_manifest() == armed_runner.store.read_manifest()
+        )
+
+    # -- serving: resilience-enabled service must answer byte-identically
+    # to the plain one while healthy.  ucrp keeps the forward cheap so
+    # the dispatch overhead itself is what gets measured.
+    def build(resilience):
+        service = PortfolioService(resilience=resilience)
+        service.register_market("bench", plain_panel)
+        for i in range(n_sessions):
+            service.create_session(f"s{i}", strategy="ucrp", market="bench")
+        return service
+
+    requests = [RebalanceRequest(f"s{i}") for i in range(n_sessions)]
+
+    def run_rounds(service):
+        responses = []
+        t0 = time.perf_counter()
+        for _ in range(n_rounds):
+            responses.extend(service.rebalance_many(requests))
+        return responses, time.perf_counter() - t0
+
+    # Min-of-3 to keep the overhead gate out of timing-noise territory.
+    plain_s = resilient_s = float("inf")
+    for _ in range(3):
+        plain_responses, s = run_rounds(build(None))
+        plain_s = min(plain_s, s)
+        resilient_responses, s = run_rounds(build(ServingResilience()))
+        resilient_s = min(resilient_s, s)
+    serving_identical = all(
+        a.t == b.t
+        and not b.degraded
+        and np.array_equal(a.weights, b.weights)
+        and a.to_json_dict() == b.to_json_dict()
+        for a, b in zip(plain_responses, resilient_responses)
+    )
+
+    decisions = n_sessions * n_rounds
+    overhead = round(resilient_s / plain_s, 3)
+    return {
+        "sessions": n_sessions,
+        "rounds": n_rounds,
+        "paths": [
+            {
+                "name": "serving_plain_dispatch",
+                "decisions": decisions,
+                "seconds": round(plain_s, 4),
+                "decisions_per_sec": round(decisions / plain_s, 1),
+            },
+            {
+                "name": "serving_resilient_dispatch",
+                "decisions": decisions,
+                "seconds": round(resilient_s, 4),
+                "decisions_per_sec": round(decisions / resilient_s, 1),
+            },
+        ],
+        "no_plan_bit_identical": {
+            "backtest": bool(backtest_identical),
+            "sweep": bool(sweep_identical),
+            "serving": bool(serving_identical),
+        },
+        "overhead_resilient_vs_plain": overhead,
+        "overhead_budget": 1.1,
+    }
+
+
 def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     params = {"observation": OBSERVATION, **AGENT_PARAMS}
 
@@ -574,6 +705,7 @@ def main(argv=None) -> int:
     execution = bench_execution(panels, args.assets)
     risk = bench_risk(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
+    resilience = bench_resilience(args.assets, args.sessions, args.rounds)
     training = bench_training(make_training_panel(args.assets), args.train_steps)
 
     report = {
@@ -589,6 +721,7 @@ def main(argv=None) -> int:
         "execution": execution,
         "risk": risk,
         "serving": serving,
+        "resilience": resilience,
         "training": training,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -635,6 +768,14 @@ def main(argv=None) -> int:
         f"bit-identical weights+PVM after {args.train_steps} steps: "
         f"{training['weights_bit_identical']}"
     )
+    parity = resilience["no_plan_bit_identical"]
+    print(
+        f"resilience no-plan parity (backtest/sweep/serving): "
+        f"{parity['backtest']} / {parity['sweep']} / {parity['serving']}; "
+        f"hardened dispatch overhead: "
+        f"{resilience['overhead_resilient_vs_plain']}x "
+        f"(budget {resilience['overhead_budget']}x)"
+    )
     print(f"wrote {args.out}")
 
     if args.check:
@@ -647,6 +788,21 @@ def main(argv=None) -> int:
         )
         if not ok:
             print("PARITY MISMATCH: fused path diverged from graph path", file=sys.stderr)
+            return 1
+        if not all(parity.values()):
+            print(
+                "RESILIENCE PARITY MISMATCH: no-plan hardened path diverged "
+                f"from the unhardened one ({parity})",
+                file=sys.stderr,
+            )
+            return 1
+        if resilience["overhead_resilient_vs_plain"] > resilience["overhead_budget"]:
+            print(
+                "RESILIENCE OVERHEAD: hardened serving dispatch cost "
+                f"{resilience['overhead_resilient_vs_plain']}x the plain path "
+                f"(budget {resilience['overhead_budget']}x)",
+                file=sys.stderr,
+            )
             return 1
         print("parity check passed")
     return 0

@@ -163,7 +163,32 @@ def _parse_risks(specs: Sequence[str]) -> Tuple:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments import ExperimentSpec, SweepRunner, render_sweep_table
+    from .experiments import (
+        DEFAULT_SHARD_RETRY,
+        ExperimentSpec,
+        SweepRunner,
+        render_sweep_table,
+    )
+    from .resilience import FaultPlan, RetryPolicy
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.load(args.fault_plan)
+    retry = DEFAULT_SHARD_RETRY
+    if args.retries is not None or args.retry_base_delay is not None:
+        retry = RetryPolicy(
+            max_attempts=(
+                args.retries if args.retries is not None
+                else DEFAULT_SHARD_RETRY.max_attempts
+            ),
+            base_delay=(
+                args.retry_base_delay if args.retry_base_delay is not None
+                else DEFAULT_SHARD_RETRY.base_delay
+            ),
+            multiplier=DEFAULT_SHARD_RETRY.multiplier,
+            max_delay=DEFAULT_SHARD_RETRY.max_delay,
+            jitter=DEFAULT_SHARD_RETRY.jitter,
+        )
 
     spec = ExperimentSpec(
         name=args.name,
@@ -176,7 +201,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         risk_regimes=_parse_risks(args.risks),
         overrides=tuple(_overrides(args).items()),
     )
-    runner = SweepRunner(spec, args.store, max_workers=args.workers)
+    runner = SweepRunner(
+        spec, args.store, max_workers=args.workers,
+        retry=retry, fault_plan=fault_plan,
+    )
     result = runner.run(
         parallel=not args.serial,
         max_shards=args.max_shards,
@@ -184,8 +212,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(
         f"sweep {spec.name!r}: {len(result.ran)} ran, "
-        f"{len(result.skipped)} skipped, {len(result.pending)} pending"
+        f"{len(result.skipped)} skipped, {len(result.pending)} pending, "
+        f"{len(result.quarantined)} quarantined"
     )
+    for outcome in result.quarantined:
+        print(f"quarantined {outcome.shard_id} after {outcome.attempts} "
+              f"attempt(s): {outcome.error}")
     if result.outcomes:
         print(render_sweep_table(result))
     return 0 if result.complete else 3
@@ -336,6 +368,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--max-shards", type=int, default=None,
         help="run at most N pending shards (resume later)",
+    )
+    p_sweep.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault plan (repro.resilience.FaultPlan) arming "
+        "deterministic chaos seams for this sweep",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=None,
+        help="per-shard attempts before quarantine (default: 3)",
+    )
+    p_sweep.add_argument(
+        "--retry-base-delay", type=float, default=None,
+        help="backoff before the first per-shard retry, seconds",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -11,8 +11,19 @@ from .generator import (
     MarketGenerator,
     default_universe,
 )
-from .market import MarketData, market_from_state, market_to_state
-from .poloniex import PoloniexError, PoloniexSimulator, VALID_PERIODS
+from .market import (
+    MarketData,
+    market_from_state,
+    market_to_state,
+    unvalidated_market,
+)
+from .poloniex import (
+    DEFAULT_FETCH_RETRY,
+    PoloniexError,
+    PoloniexSimulator,
+    PoloniexTransientError,
+    VALID_PERIODS,
+)
 from .regimes import (
     Regime,
     RegimeSchedule,
@@ -32,10 +43,19 @@ from .splits import (
     get_window,
     walk_forward_windows,
 )
+from .validation import (
+    REPAIR_POLICIES,
+    AnomalyReport,
+    DataAnomalyError,
+    validate_panel,
+)
 
 __all__ = [
+    "AnomalyReport",
     "CoinSpec",
+    "DEFAULT_FETCH_RETRY",
     "DEFAULT_PERIOD_SECONDS",
+    "DataAnomalyError",
     "ExperimentWindow",
     "MarketData",
     "MarketGenerator",
@@ -43,6 +63,8 @@ __all__ = [
     "PAPER_VOLUME_WINDOW_DAYS",
     "PoloniexError",
     "PoloniexSimulator",
+    "PoloniexTransientError",
+    "REPAIR_POLICIES",
     "Regime",
     "RegimeSchedule",
     "TABLE1_WINDOWS",
@@ -56,5 +78,7 @@ __all__ = [
     "parse_date",
     "select_universe",
     "top_volume_assets",
+    "unvalidated_market",
+    "validate_panel",
     "walk_forward_windows",
 ]

@@ -203,6 +203,9 @@ class MarketGenerator:
         self.momentum_timescale_hours = float(momentum_timescale_hours)
         self.market_momentum = float(market_momentum)
         self.idio_momentum = float(idio_momentum)
+        # Structured report from the most recent generate(..., repair=...)
+        # validation pass; None until a repair policy is requested.
+        self.last_anomaly_report = None
 
     # ------------------------------------------------------------------
     def _ou_drift(
@@ -238,8 +241,21 @@ class MarketGenerator:
         start: str,
         end: str,
         period_seconds: int = DEFAULT_PERIOD_SECONDS,
+        faults=None,
+        repair: Optional[str] = None,
     ) -> MarketData:
-        """Generate the OHLCV panel covering ``[start, end)``."""
+        """Generate the OHLCV panel covering ``[start, end)``.
+
+        ``faults`` (a :class:`~repro.resilience.FaultPlan` or prepared
+        injector) corrupts the generated feed through the deterministic
+        data seam — the chaos hook for exercising downstream validation.
+        ``repair`` then runs the panel through
+        :func:`~repro.data.validation.validate_panel` with that policy
+        (``"raise"``/``"drop"``/``"ffill"``), leaving the structured
+        report on :attr:`last_anomaly_report`.  Both default to ``None``
+        — no corruption, no validation pass, bit-identical to the
+        pre-resilience generator.
+        """
         t0 = parse_date(start)
         t1 = parse_date(end)
         if t1 <= t0:
@@ -275,7 +291,7 @@ class MarketGenerator:
                 coin, r, dt, params["volume_multiplier"], period_seconds, rng
             )
 
-        return MarketData(
+        panel = MarketData(
             timestamps=timestamps,
             names=[c.name for c in self.universe],
             open=opens,
@@ -285,6 +301,30 @@ class MarketGenerator:
             volume=volumes,
             period_seconds=period_seconds,
         )
+        return self._postprocess(panel, faults, repair, key=f"{start}:{end}")
+
+    def _postprocess(
+        self, panel: MarketData, faults, repair: Optional[str], key: str
+    ) -> MarketData:
+        """Apply the chaos seam and/or the validation airlock.
+
+        Imports lazily so the no-fault path never touches (or pays for)
+        the resilience machinery.
+        """
+        if faults is None and repair is None:
+            return panel
+        if faults is not None:
+            from ..resilience import injector_from
+
+            injector = injector_from(faults)
+            if injector is not None:
+                panel = injector.corrupt_market(panel, key=key)
+        if repair is not None:
+            from .validation import validate_panel
+
+            panel, report = validate_panel(panel, policy=repair)
+            self.last_anomaly_report = report
+        return panel
 
     # ------------------------------------------------------------------
     def _market_factor(self, n: int, dt: float, params: dict) -> np.ndarray:

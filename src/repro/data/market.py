@@ -337,6 +337,38 @@ class MarketData:
         )
 
 
+def unvalidated_market(
+    timestamps: np.ndarray,
+    names: List[str],
+    open: np.ndarray,  # noqa: A002 - mirrors the dataclass field
+    high: np.ndarray,
+    low: np.ndarray,
+    close: np.ndarray,
+    volume: np.ndarray,
+    period_seconds: int,
+) -> MarketData:
+    """Construct a :class:`MarketData` *without* running validation.
+
+    The escape hatch the resilience layer needs in exactly two places:
+    :func:`repro.resilience.faults.corrupt_panel` building a
+    deliberately malformed feed, and
+    :func:`repro.data.validation.validate_panel` assembling
+    intermediate grids while repairing one.  Everything else must go
+    through the validating constructor — a panel built here may violate
+    every invariant the rest of the repo assumes.
+    """
+    data = object.__new__(MarketData)
+    data.timestamps = np.asarray(timestamps, dtype=np.int64)
+    data.names = list(names)
+    data.open = np.asarray(open, dtype=np.float64)
+    data.high = np.asarray(high, dtype=np.float64)
+    data.low = np.asarray(low, dtype=np.float64)
+    data.close = np.asarray(close, dtype=np.float64)
+    data.volume = np.asarray(volume, dtype=np.float64)
+    data.period_seconds = int(period_seconds)
+    return data
+
+
 # ----------------------------------------------------------------------
 # npz-friendly (de)serialisation — the single representation used by
 # serving checkpoints and the experiment artifact store.

@@ -14,10 +14,14 @@ Responses follow Poloniex's JSON schema (lists of candle dicts with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+# resilience.retry depends only on utils.rng, so importing it here cannot
+# cycle back into repro.data (unlike the injector, imported lazily below).
+from ..resilience.retry import RetryPolicy, call_with_retry
 from .generator import DEFAULT_PERIOD_SECONDS, CoinSpec, MarketGenerator
 from .market import MarketData
 from .regimes import parse_date
@@ -25,9 +29,31 @@ from .regimes import parse_date
 # Candle periods supported by the real API (seconds).
 VALID_PERIODS = (300, 900, 1800, 7200, 14400, 86400)
 
+# Fetch retry shape for the ingestion path: jittered exponential backoff
+# with a total time budget, the same discipline a live Poloniex client
+# would need against timeouts and 5xx responses.
+DEFAULT_FETCH_RETRY = RetryPolicy(
+    max_attempts=4,
+    base_delay=0.2,
+    multiplier=2.0,
+    max_delay=5.0,
+    jitter=0.25,
+    timeout=30.0,
+)
+
 
 class PoloniexError(ValueError):
     """Raised for malformed API requests (mirrors the HTTP 4xx path)."""
+
+
+class PoloniexTransientError(PoloniexError):
+    """A retryable fetch failure (the timeout/connection-reset/5xx class).
+
+    The simulator raises it only through the fault-injection seam; live
+    subclasses overriding :meth:`PoloniexSimulator.return_chart_data`
+    with a real HTTP call should translate their transient network
+    errors into this type to get the retry loop for free.
+    """
 
 
 class PoloniexSimulator:
@@ -45,6 +71,18 @@ class PoloniexSimulator:
         Quote currency of all pairs (the paper trades BTC-quoted pairs;
         we use USDT-style quoting for readability — the algorithms only
         consume relative prices, so the choice is immaterial).
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan` (or prepared
+        injector) arming the data seams: transient fetch failures in
+        :meth:`fetch_panel` and feed corruption before repair.  ``None``
+        (or an empty plan) leaves every path byte-identical to the
+        unhardened simulator.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for per-pair fetches
+        (default :data:`DEFAULT_FETCH_RETRY`).
+    sleep / clock:
+        Injectable backoff sleeper and monotonic clock so chaos tests
+        replay retry schedules instantly on fake time.
     """
 
     def __init__(
@@ -54,6 +92,10 @@ class PoloniexSimulator:
         history_end: str = "2021/09/01",
         quote: str = "USDT",
         base_period: int = DEFAULT_PERIOD_SECONDS,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.generator = generator if generator is not None else MarketGenerator()
         self.quote = quote
@@ -62,6 +104,18 @@ class PoloniexSimulator:
         if base_period not in VALID_PERIODS:
             raise PoloniexError(f"invalid base period {base_period}")
         self.base_period = base_period
+        # Lazy import: repro.data must stay importable before
+        # repro.resilience finishes loading (see module header).
+        from ..resilience import injector_from
+
+        self._injector = injector_from(faults)
+        self.fetch_retry = retry if retry is not None else DEFAULT_FETCH_RETRY
+        self._sleep = sleep
+        self._clock = clock
+        # Retries actually scheduled by fetch_panel (diagnostic/tests).
+        self.fetch_retry_count = 0
+        # Report from the most recent fetch_panel(..., repair=...).
+        self.last_anomaly_report = None
         # Generate the full base-resolution history once; API calls are
         # slices/resamples of this panel.
         self._data = self.generator.generate(
@@ -184,24 +238,58 @@ class PoloniexSimulator:
         return out
 
     # ------------------------------------------------------------------
+    def _fetch_chart_data(
+        self, pair: str, period: int, start: int, end: int
+    ) -> List[Dict[str, float]]:
+        """One pair's candles under the retry loop and the fault seam."""
+
+        def attempt_fetch(attempt: int) -> List[Dict[str, float]]:
+            if self._injector is not None and self._injector.fetch_fails(
+                pair, attempt
+            ):
+                raise PoloniexTransientError(
+                    f"transient failure fetching {pair} (attempt {attempt})"
+                )
+            return self.return_chart_data(pair, period=period, start=start, end=end)
+
+        def note_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.fetch_retry_count += 1
+
+        return call_with_retry(
+            attempt_fetch,
+            self.fetch_retry,
+            key=pair,
+            retry_on=(PoloniexTransientError, ConnectionError, TimeoutError),
+            sleep=self._sleep,
+            clock=self._clock,
+            on_retry=note_retry,
+        )
+
     def fetch_panel(
         self,
         pairs: Sequence[str],
         start: str,
         end: str,
         period: int = DEFAULT_PERIOD_SECONDS,
+        repair: Optional[str] = None,
     ) -> MarketData:
         """Assemble a :class:`MarketData` panel through the API path.
 
         This is what the data-pipeline bench exercises: every candle
         passes through :meth:`return_chart_data`'s JSON schema, exactly
-        as a live ingestion job would.
+        as a live ingestion job would.  Per-pair fetches run under
+        :attr:`fetch_retry` so transient failures (the fault seam, or a
+        live subclass's network errors) back off and recover.  With
+        ``repair`` set, the armed data seam corrupts the assembled panel
+        and :func:`~repro.data.validation.validate_panel` repairs it
+        under that policy, leaving the structured report on
+        :attr:`last_anomaly_report`.
         """
         t0, t1 = parse_date(start), parse_date(end)
         columns = {}
         timestamps = None
         for pair in pairs:
-            candles = self.return_chart_data(pair, period=period, start=t0, end=t1)
+            candles = self._fetch_chart_data(pair, period, t0, t1)
             if not candles:
                 raise PoloniexError(f"no data for {pair} in [{start}, {end})")
             ts = np.array([c["date"] for c in candles], dtype=np.int64)
@@ -214,7 +302,7 @@ class PoloniexSimulator:
         stackcol = lambda key: np.column_stack(
             [[c[key] for c in columns[p]] for p in pairs]
         )
-        return MarketData(
+        panel = MarketData(
             timestamps=timestamps,
             names=names,
             open=stackcol("open"),
@@ -224,3 +312,11 @@ class PoloniexSimulator:
             volume=stackcol("volume"),
             period_seconds=period,
         )
+        if self._injector is not None:
+            panel = self._injector.corrupt_market(panel, key=f"fetch:{start}:{end}")
+        if repair is not None:
+            from .validation import validate_panel
+
+            panel, report = validate_panel(panel, policy=repair)
+            self.last_anomaly_report = report
+        return panel

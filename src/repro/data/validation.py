@@ -1,0 +1,313 @@
+"""Feed validation and repair for OHLCV panels.
+
+:func:`validate_panel` is the data plane's airlock: raw panels — from
+the generator, the simulated exchange, or a fault-injected feed — pass
+through it before anything downstream consumes them.  It detects the
+anomalies a real candle feed produces (NaN prices, zero/negative
+prices, OHLC inconsistencies, missing candles, duplicated timestamps,
+stale repeated rows) and either refuses the panel (``raise``), drops
+the affected periods (``drop``), or repairs them in place with flat
+forward-filled candles (``ffill``), returning the structured
+:class:`AnomalyReport` that tells operators exactly what the feed did.
+
+The healthy path is the invariant that matters: a clean panel is
+returned **as the same object** with an empty report — zero copies,
+bit-identical to never having called the validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from .market import MarketData, unvalidated_market
+
+__all__ = ["AnomalyReport", "DataAnomalyError", "REPAIR_POLICIES", "validate_panel"]
+
+REPAIR_POLICIES = ("raise", "drop", "ffill")
+
+# Detail lists are capped so a catastrophically bad feed produces a
+# readable report, not a megabyte of indices.
+_MAX_DETAIL = 32
+
+
+class DataAnomalyError(ValueError):
+    """A panel failed validation under the ``raise`` policy.
+
+    ``report`` carries the full :class:`AnomalyReport` so callers can
+    log what was wrong without re-validating.
+    """
+
+    def __init__(self, message: str, report: "AnomalyReport"):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class AnomalyReport:
+    """What :func:`validate_panel` found (and did) in one panel.
+
+    Counts are in the *input* panel's coordinates; ``rows_in`` /
+    ``rows_out`` summarise the shape change a repair made.  ``stale_rows``
+    is advisory: an exact all-asset repeat of the previous candle is
+    suspicious in a liquid market but not provably wrong, so it is
+    counted and never repaired.
+    """
+
+    policy: str = "raise"
+    rows_in: int = 0
+    rows_out: int = 0
+    nan_cells: int = 0
+    nonpositive_cells: int = 0
+    inconsistent_cells: int = 0
+    missing_rows: int = 0
+    duplicate_rows: int = 0
+    misaligned_rows: int = 0
+    stale_rows: int = 0
+    repaired_cells: int = 0
+    dropped_rows: int = 0
+    detail: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def total_anomalies(self) -> int:
+        """Hard anomalies only — stale rows are advisory."""
+        return (
+            self.nan_cells
+            + self.nonpositive_cells
+            + self.inconsistent_cells
+            + self.missing_rows
+            + self.duplicate_rows
+            + self.misaligned_rows
+        )
+
+    @property
+    def clean(self) -> bool:
+        return self.total_anomalies == 0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "nan_cells": self.nan_cells,
+            "nonpositive_cells": self.nonpositive_cells,
+            "inconsistent_cells": self.inconsistent_cells,
+            "missing_rows": self.missing_rows,
+            "duplicate_rows": self.duplicate_rows,
+            "misaligned_rows": self.misaligned_rows,
+            "stale_rows": self.stale_rows,
+            "repaired_cells": self.repaired_cells,
+            "dropped_rows": self.dropped_rows,
+            "total_anomalies": self.total_anomalies,
+            "clean": self.clean,
+            "detail": {k: list(v) for k, v in self.detail.items()},
+        }
+
+    def _note(self, kind: str, index: int) -> None:
+        rows = self.detail.setdefault(kind, [])
+        if len(rows) < _MAX_DETAIL:
+            rows.append(int(index))
+
+
+def validate_panel(
+    data: MarketData, policy: str = "raise"
+) -> Tuple[MarketData, AnomalyReport]:
+    """Validate (and under a repair policy, fix) one OHLCV panel.
+
+    Parameters
+    ----------
+    data:
+        The panel to check — typically built through
+        :func:`~repro.data.market.unvalidated_market` by a feed path
+        that cannot trust its input.  Already-valid panels are fine.
+    policy:
+        ``"raise"`` — raise :class:`DataAnomalyError` on any hard
+        anomaly.  ``"drop"`` — remove every anomalous period and
+        re-stamp the survivors contiguously from the first kept
+        timestamp (index-space compaction: downstream consumers see a
+        shorter, clean panel).  ``"ffill"`` — reconstruct the full
+        timeline; anomalous cells and missing candles become flat
+        zero-volume candles at the previous close (per asset).
+
+    Returns
+    -------
+    ``(panel, report)`` — on a clean input the *same* panel object and
+    an all-zero report, so the healthy path is bit-identical to never
+    validating.
+    """
+    if policy not in REPAIR_POLICIES:
+        raise ValueError(
+            f"unknown repair policy {policy!r}; expected one of "
+            f"{'/'.join(REPAIR_POLICIES)}"
+        )
+    report = AnomalyReport(policy=policy, rows_in=data.n_periods)
+    n, m = data.close.shape
+    if n == 0 or m == 0:
+        raise DataAnomalyError("empty panel", report)
+    period = int(data.period_seconds)
+    ts = np.asarray(data.timestamps, dtype=np.int64)
+
+    # -- timeline reconstruction --------------------------------------
+    # Map every input row onto the canonical grid anchored at the first
+    # timestamp.  Duplicates keep their first occurrence; rows off the
+    # grid are unusable; grid slots nobody filled are missing candles.
+    t0 = int(ts[0])
+    offsets = ts - t0
+    aligned = (offsets >= 0) & (offsets % period == 0)
+    slots = np.where(aligned, offsets // period, -1)
+    n_slots = int(slots.max()) + 1 if aligned.any() else 0
+    if n_slots <= 0:
+        raise DataAnomalyError("no grid-aligned timestamps", report)
+    filled = np.full(n_slots, -1, dtype=np.int64)
+    for i in range(n):
+        s = slots[i]
+        if s < 0:
+            report.misaligned_rows += 1
+            report._note("misaligned", i)
+        elif filled[s] >= 0:
+            report.duplicate_rows += 1
+            report._note("duplicate", i)
+        else:
+            filled[s] = i
+    missing = np.flatnonzero(filled < 0)
+    report.missing_rows = int(missing.size)
+    for s in missing[:_MAX_DETAIL]:
+        report._note("missing", int(s))
+
+    # Assemble the grid (missing slots start all-NaN and are caught by
+    # the cell checks below).
+    def grid(x: np.ndarray) -> np.ndarray:
+        out = np.full((n_slots, m), np.nan)
+        good = filled >= 0
+        out[good] = x[filled[good]]
+        return out
+
+    go, gh, gl, gc, gv = (
+        grid(data.open), grid(data.high), grid(data.low),
+        grid(data.close), grid(data.volume),
+    )
+    grid_ts = t0 + period * np.arange(n_slots, dtype=np.int64)
+    row_missing = filled < 0
+
+    # -- cell checks ---------------------------------------------------
+    nan_cells = (
+        np.isnan(go) | np.isnan(gh) | np.isnan(gl) | np.isnan(gc) | np.isnan(gv)
+    )
+    # Missing candles are reported as rows, not as NaN cells.
+    nan_cell_count = int(nan_cells[~row_missing].sum())
+    report.nan_cells = nan_cell_count
+    with np.errstate(invalid="ignore"):
+        nonpos = ~nan_cells & (
+            (go <= 0) | (gh <= 0) | (gl <= 0) | (gc <= 0) | (gv < 0)
+        )
+        body_high = np.maximum(go, gc)
+        body_low = np.minimum(go, gc)
+        inconsistent = ~nan_cells & ~nonpos & (
+            (gh < gl)
+            | (gh < body_high - 1e-9)
+            | (gl > body_low + 1e-9)
+        )
+    report.nonpositive_cells = int(nonpos.sum())
+    report.inconsistent_cells = int(inconsistent.sum())
+    bad_cells = nan_cells | nonpos | inconsistent
+    for r in np.flatnonzero(bad_cells.any(axis=1) & ~row_missing)[:_MAX_DETAIL]:
+        report._note("bad_cells", int(r))
+
+    # -- stale rows (advisory) ----------------------------------------
+    present = np.flatnonzero(~row_missing)
+    if present.size > 1:
+        prev, cur = present[:-1], present[1:]
+        consecutive = (cur - prev) == 1
+        same = (
+            (go[cur] == go[prev]).all(axis=1)
+            & (gh[cur] == gh[prev]).all(axis=1)
+            & (gl[cur] == gl[prev]).all(axis=1)
+            & (gc[cur] == gc[prev]).all(axis=1)
+            & (gv[cur] == gv[prev]).all(axis=1)
+        )
+        stale = cur[consecutive & same]
+        report.stale_rows = int(stale.size)
+        for s in stale[:_MAX_DETAIL]:
+            report._note("stale", int(s))
+
+    # -- the healthy fast path ----------------------------------------
+    if report.clean:
+        report.rows_out = n
+        return data, report
+
+    if policy == "raise":
+        raise DataAnomalyError(
+            f"panel failed validation: {report.nan_cells} NaN cells, "
+            f"{report.nonpositive_cells} non-positive cells, "
+            f"{report.inconsistent_cells} inconsistent cells, "
+            f"{report.missing_rows} missing rows, "
+            f"{report.duplicate_rows} duplicate rows, "
+            f"{report.misaligned_rows} misaligned rows",
+            report,
+        )
+
+    bad_rows = row_missing | bad_cells.any(axis=1)
+    if policy == "drop":
+        keep = np.flatnonzero(~bad_rows)
+        if keep.size < 2:
+            raise DataAnomalyError(
+                "fewer than two clean periods survive the drop repair",
+                report,
+            )
+        report.dropped_rows = int(n_slots - keep.size)
+        # Index-space compaction: survivors are re-stamped contiguously
+        # from the first kept timestamp.  Return relatives across a
+        # dropped period splice two non-adjacent candles — the price of
+        # refusing to synthesise data.
+        repaired = MarketData(
+            timestamps=int(grid_ts[keep[0]])
+            + period * np.arange(keep.size, dtype=np.int64),
+            names=list(data.names),
+            open=go[keep],
+            high=gh[keep],
+            low=gl[keep],
+            close=gc[keep],
+            volume=gv[keep],
+            period_seconds=period,
+        )
+        report.rows_out = repaired.n_periods
+        return repaired, report
+
+    # policy == "ffill": every bad cell becomes a flat zero-volume
+    # candle at the previous clean close (per asset).  Leading bad
+    # cells backfill from the asset's first clean close.
+    for j in range(m):
+        col_bad = np.flatnonzero(bad_cells[:, j])
+        if col_bad.size == 0:
+            continue
+        col_good = np.flatnonzero(~bad_cells[:, j])
+        if col_good.size == 0:
+            raise DataAnomalyError(
+                f"asset {data.names[j]!r} has no clean candle to repair from",
+                report,
+            )
+        # For each bad slot, the last clean slot before it (or the
+        # first clean slot, for leading gaps).
+        pos = np.searchsorted(col_good, col_bad) - 1
+        src = col_good[np.maximum(pos, 0)]
+        fill = gc[src, j]
+        go[col_bad, j] = fill
+        gh[col_bad, j] = fill
+        gl[col_bad, j] = fill
+        gc[col_bad, j] = fill
+        gv[col_bad, j] = 0.0
+        report.repaired_cells += int(col_bad.size)
+    repaired = MarketData(
+        timestamps=grid_ts,
+        names=list(data.names),
+        open=go,
+        high=gh,
+        low=gl,
+        close=gc,
+        volume=gv,
+        period_seconds=period,
+    )
+    report.rows_out = repaired.n_periods
+    return repaired, report

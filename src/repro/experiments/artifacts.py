@@ -24,11 +24,16 @@ Layout::
 ``shard.json`` is written *last* with ``"complete": true`` — the commit
 point.  A shard directory without it (a killed worker) is treated as
 absent and re-run; :meth:`ArtifactStore.has_shard` is what gives the
-sweep engine its checkpoint/resume semantics.
+sweep engine its checkpoint/resume semantics.  The commit record also
+carries a sha256 checksum per array file: :meth:`has_shard` re-verifies
+them on resume (a corrupt shard reads as absent and is re-run), and
+:meth:`load_shard` raises :class:`ArtifactCorrupt` naming the bad file
+rather than handing back silently damaged arrays.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
@@ -55,6 +60,18 @@ if TYPE_CHECKING:
     from .runner import ExperimentResult
 
 _SERIES_KEYS = ("values", "weights", "rewards", "mus")
+
+
+class ArtifactCorrupt(RuntimeError):
+    """A stored artifact's bytes do not match its recorded checksum."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _metrics_to_dict(metrics: BacktestMetrics) -> Dict[str, float]:
@@ -193,9 +210,32 @@ class ArtifactStore:
         if not path.exists():
             return False
         try:
-            return bool(load_json(path).get("complete"))
+            payload = load_json(path)
         except ValueError:
             return False
+        if not payload.get("complete"):
+            return False
+        # Resume-time integrity: a committed shard whose arrays no longer
+        # match their recorded checksums is treated as absent and re-run.
+        return self._corrupt_file(shard_id, payload) is None
+
+    def _corrupt_file(
+        self, shard_id: str, payload: Dict[str, Any]
+    ) -> Optional[str]:
+        """Name of the first artifact file failing its checksum, if any.
+
+        Stores written before checksums existed (no ``"checksums"`` key)
+        verify trivially.
+        """
+        checksums = payload.get("checksums")
+        if not checksums:
+            return None
+        directory = self.shard_dir(shard_id)
+        for name, expected in sorted(checksums.items()):
+            target = directory / name
+            if not target.exists() or _sha256(target) != str(expected):
+                return name
+        return None
 
     def list_shards(self) -> List[str]:
         """Sorted ids of every *committed* shard in the store."""
@@ -211,10 +251,13 @@ class ArtifactStore:
         directory = self.shard_dir(artifact.shard_id)
         directory.mkdir(parents=True, exist_ok=True)
         save_state_dict(directory / "series.npz", artifact.series)
+        checksums = {"series.npz": _sha256(directory / "series.npz")}
         if artifact.weights_state is not None:
             save_state_dict(directory / "weights.npz", artifact.weights_state)
+            checksums["weights.npz"] = _sha256(directory / "weights.npz")
         payload = {
             "version": 1,
+            "checksums": checksums,
             "shard": artifact.shard.to_json_dict(),
             "strategy": {
                 "strategy": artifact.strategy_spec["strategy"],
@@ -235,6 +278,12 @@ class ArtifactStore:
         payload = load_json(directory / "shard.json")
         if not payload.get("complete"):
             raise FileNotFoundError(f"shard {shard_id!r} is incomplete")
+        bad = self._corrupt_file(shard_id, payload)
+        if bad is not None:
+            raise ArtifactCorrupt(
+                f"shard {shard_id!r}: {bad} does not match its recorded "
+                f"checksum ({directory / bad})"
+            )
         weights = None
         if payload.get("has_weights"):
             weights = load_state_dict(directory / "weights.npz")
@@ -304,9 +353,16 @@ class ArtifactStore:
         }
         agent = registry.create(spec["strategy"], **spec["params"])
         if payload.get("has_weights"):
-            agent.network.load_state_dict(
-                load_state_dict(self.shard_dir(shard_id) / "weights.npz")
-            )
+            path = self.shard_dir(shard_id) / "weights.npz"
+            expected = (payload.get("checksums") or {}).get("weights.npz")
+            if expected is not None and (
+                not path.exists() or _sha256(path) != str(expected)
+            ):
+                raise ArtifactCorrupt(
+                    f"shard {shard_id!r}: weights.npz does not match its "
+                    f"recorded checksum ({path})"
+                )
+            agent.network.load_state_dict(load_state_dict(path))
         return agent
 
     # -- manifest ------------------------------------------------------

@@ -12,10 +12,23 @@ from its own spec, never from execution order or process state).
 artifacts are already committed (checkpoint/resume), run the rest
 serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
 write the sweep manifest.
+
+Fault tolerance (PR 7): each pending shard gets up to
+``RetryPolicy.max_attempts`` tries with capped exponential backoff and
+deterministic jitter between them.  A shard that exhausts its attempts
+is *quarantined* — reported in the :class:`SweepResult` and the
+manifest with the failing worker's traceback text — and its siblings
+run to completion regardless.  A :class:`~repro.resilience.FaultPlan`
+can be threaded through to arm the engine's seams (transient raises,
+mid-write crashes, permanently broken shards) deterministically; a
+``None`` or empty plan is the unhardened path, bit-identical to before
+the seams existed.
 """
 
 from __future__ import annotations
 
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -28,7 +41,8 @@ from ..registry import (
     is_trainable,
     strategy_params_from_config,
 )
-from ..utils.serialization import PathLike
+from ..resilience import FaultPlan, InjectedFault, RetryPolicy, injector_from
+from ..utils.serialization import PathLike, save_state_dict
 from .artifacts import (
     ArtifactStore,
     ShardArtifact,
@@ -41,14 +55,33 @@ from .artifacts import (
 from .runner import build_experiment_data, make_trainer
 from .spec import ExperimentSpec, ShardSpec
 
+# One failed attempt is usually a transient (preempted worker, flaky
+# filesystem), so the default gives every shard three tries with
+# sub-minute backoff before quarantining it.
+DEFAULT_SHARD_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.5, multiplier=2.0, max_delay=30.0, jitter=0.25
+)
 
-def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
+
+def run_shard(
+    shard: ShardSpec,
+    store_root: str,
+    fault_plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
+    position: int = 0,
+) -> Dict[str, object]:
     """Execute one shard end to end and commit its artifact.
 
     Returns a small JSON-able summary (the pool ships it back instead
     of the trajectories).  Idempotent: a shard already committed in the
     store is skipped, so racing a resume against a half-finished sweep
     never recomputes finished work.
+
+    ``fault_plan`` arms the engine's chaos seams for this attempt
+    (``attempt``/``position`` key the deterministic fault draws —
+    ``position`` is the shard's index in spec-expansion order).  With no
+    plan the extra parameters are inert and the body is the original
+    code path.
     """
     store = ArtifactStore(store_root)
     shard_id = shard.shard_id
@@ -58,6 +91,22 @@ def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
             "status": "skipped",
             "metrics": store.load_shard_metrics(shard_id),
         }
+
+    injector = injector_from(fault_plan)
+    if injector is not None:
+        kind = injector.shard_fault(shard_id, position, attempt)
+        if kind == "crash":
+            # Emulate a worker killed mid-write: a partial directory
+            # with arrays but no shard.json commit mark.  has_shard
+            # reads it as absent, so the retry re-runs cleanly.
+            directory = store.shard_dir(shard_id)
+            directory.mkdir(parents=True, exist_ok=True)
+            save_state_dict(
+                directory / "series.npz", {"values": np.zeros(1)}
+            )
+            raise InjectedFault("sweep.crash", f"{shard_id}:{attempt}")
+        if kind is not None:
+            raise InjectedFault(f"sweep.{kind}", f"{shard_id}:{attempt}")
 
     config = shard.config()
     data = build_experiment_data(config)
@@ -112,13 +161,53 @@ def run_shard(shard: ShardSpec, store_root: str) -> Dict[str, object]:
     }
 
 
+def _guarded_run_shard(
+    shard: ShardSpec,
+    store_root: str,
+    fault_plan: Optional[FaultPlan],
+    attempt: int,
+    position: int,
+) -> Dict[str, object]:
+    """Pool-safe wrapper: failures come back as data, not exceptions.
+
+    ``ProcessPoolExecutor`` pickles a worker exception without its
+    traceback, so the orchestrator would only ever see the repr.  This
+    wrapper formats the traceback *inside* the worker and ships it home
+    in the summary, where retry/quarantine logic (and ultimately the
+    manifest) can use it.  ``KeyboardInterrupt``/``SystemExit`` still
+    propagate — an interrupted sweep must stop, not quarantine.
+    """
+    try:
+        return run_shard(
+            shard,
+            store_root,
+            fault_plan=fault_plan,
+            attempt=attempt,
+            position=position,
+        )
+    except Exception as exc:
+        return {
+            "shard_id": shard.shard_id,
+            "status": "error",
+            "error": repr(exc),
+            "traceback": traceback.format_exc(),
+        }
+
+
 @dataclass
 class ShardOutcome:
-    """One shard's fate in a sweep run."""
+    """One shard's fate in a sweep run.
+
+    ``attempts`` counts tries actually made (1 on the healthy path);
+    ``error`` carries the final attempt's traceback text when the shard
+    was quarantined.
+    """
 
     shard: ShardSpec
-    status: str  # "ran" | "skipped"
+    status: str  # "ran" | "skipped" | "quarantined"
     metrics: Dict[str, float]
+    attempts: int = 1
+    error: Optional[str] = None
 
     @property
     def shard_id(self) -> str:
@@ -142,8 +231,13 @@ class SweepResult:
         return [o for o in self.outcomes if o.status == "skipped"]
 
     @property
+    def quarantined(self) -> List[ShardOutcome]:
+        """Shards that exhausted their retry budget this run."""
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    @property
     def complete(self) -> bool:
-        return not self.pending
+        return not self.pending and not self.quarantined
 
     def aggregate(self) -> List[Dict[str, object]]:
         """Across-seed mean±std per (experiment, strategy, cost,
@@ -157,6 +251,8 @@ class SweepResult:
         """
         groups: Dict[Tuple[int, str, str, str, str], List[Dict[str, float]]] = {}
         for outcome in self.outcomes:
+            if outcome.status == "quarantined":
+                continue  # no metrics to pool; reported, not aggregated
             key = (
                 outcome.shard.experiment,
                 outcome.shard.strategy,
@@ -211,6 +307,16 @@ class SweepRunner:
         Artifact store (a path is accepted) shards commit into.
     max_workers:
         Process-pool width for ``parallel=True`` runs.
+    retry:
+        Per-shard retry budget and backoff shape; defaults to
+        :data:`DEFAULT_SHARD_RETRY`.  ``max_attempts=1`` disables
+        retries (one failure quarantines immediately).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` arming the
+        engine's chaos seams.  ``None`` (or an empty plan) leaves every
+        shard on the unhardened code path.
+    sleep:
+        Injectable sleeper for backoff waits (tests pass a no-op).
     """
 
     def __init__(
@@ -218,10 +324,19 @@ class SweepRunner:
         spec: ExperimentSpec,
         store: "ArtifactStore | PathLike",
         max_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.spec = spec
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.max_workers = max_workers
+        self.retry = retry if retry is not None else DEFAULT_SHARD_RETRY
+        plan = fault_plan
+        if plan is not None and plan.is_empty():
+            plan = None  # empty plan ≡ no plan, everywhere
+        self.fault_plan = plan
+        self._sleep = sleep
 
     def run(
         self,
@@ -236,8 +351,16 @@ class SweepRunner:
         uses to simulate an interrupted sweep, and the knob for running
         a large grid in instalments.  ``progress`` receives
         ``(shard_id, status)`` as outcomes land.
+
+        Failures never abort siblings: a shard that errors is retried
+        per the runner's :class:`~repro.resilience.RetryPolicy` and,
+        if it exhausts the budget, lands as a ``"quarantined"`` outcome
+        carrying the last attempt's traceback while every other shard
+        still runs.  (``KeyboardInterrupt`` is not a failure — it still
+        aborts the run; committed shards stay committed.)
         """
         shards = self.spec.expand()
+        positions = {shard.shard_id: i for i, shard in enumerate(shards)}
         outcomes: List[ShardOutcome] = []
         pending: List[ShardSpec] = []
         for shard in shards:
@@ -254,11 +377,26 @@ class SweepRunner:
         to_run = pending if max_shards is None else pending[:max_shards]
         deferred = [] if max_shards is None else pending[max_shards:]
         root = str(self.store.root)
+        max_attempts = max(1, self.retry.max_attempts)
 
-        def collect(shard: ShardSpec, summary: Dict[str, object]) -> None:
-            outcome = ShardOutcome(
-                shard, str(summary["status"]), dict(summary["metrics"])
-            )
+        def collect(
+            shard: ShardSpec, summary: Dict[str, object], attempts: int
+        ) -> None:
+            if summary["status"] == "error":
+                outcome = ShardOutcome(
+                    shard,
+                    "quarantined",
+                    {},
+                    attempts=attempts,
+                    error=str(summary.get("traceback") or summary.get("error")),
+                )
+            else:
+                outcome = ShardOutcome(
+                    shard,
+                    str(summary["status"]),
+                    dict(summary["metrics"]),
+                    attempts=attempts,
+                )
             outcomes.append(outcome)
             if progress is not None:
                 progress(shard.shard_id, outcome.status)
@@ -266,33 +404,93 @@ class SweepRunner:
         if parallel and len(to_run) > 1:
             workers = self.max_workers or min(len(to_run), 4)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                # pool.map yields in submission order as results land,
-                # so progress streams while later shards still run.
-                for shard, summary in zip(
-                    to_run, pool.map(run_shard, to_run, [root] * len(to_run))
-                ):
-                    collect(shard, summary)
+                # Retry in waves: attempt k runs every still-failing
+                # shard concurrently, then the runner sleeps the
+                # longest of their backoff delays before attempt k+1.
+                # Failures come back as data (_guarded_run_shard), so
+                # one bad shard never poisons pool.map for the others.
+                wave = list(to_run)
+                for attempt in range(max_attempts):
+                    n = len(wave)
+                    summaries = list(
+                        pool.map(
+                            _guarded_run_shard,
+                            wave,
+                            [root] * n,
+                            [self.fault_plan] * n,
+                            [attempt] * n,
+                            [positions[s.shard_id] for s in wave],
+                        )
+                    )
+                    failed: List[ShardSpec] = []
+                    for shard, summary in zip(wave, summaries):
+                        if (
+                            summary["status"] == "error"
+                            and attempt + 1 < max_attempts
+                        ):
+                            failed.append(shard)
+                        else:
+                            collect(shard, summary, attempts=attempt + 1)
+                    if not failed:
+                        break
+                    self._sleep(
+                        max(
+                            self.retry.delay(attempt, s.shard_id)
+                            for s in failed
+                        )
+                    )
+                    wave = failed
         else:
             for shard in to_run:
-                collect(shard, run_shard(shard, root))
+                position = positions[shard.shard_id]
+                for attempt in range(max_attempts):
+                    try:
+                        summary = run_shard(
+                            shard,
+                            root,
+                            fault_plan=self.fault_plan,
+                            attempt=attempt,
+                            position=position,
+                        )
+                    except Exception:
+                        if attempt + 1 < max_attempts:
+                            self._sleep(self.retry.delay(attempt, shard.shard_id))
+                            continue
+                        summary = {
+                            "shard_id": shard.shard_id,
+                            "status": "error",
+                            "traceback": traceback.format_exc(),
+                        }
+                    collect(shard, summary, attempts=attempt + 1)
+                    break
 
         # Keep outcomes in expansion order — aggregation and manifests
         # must not depend on completion order.
-        order = {shard.shard_id: i for i, shard in enumerate(shards)}
-        outcomes.sort(key=lambda o: order[o.shard_id])
+        outcomes.sort(key=lambda o: positions[o.shard_id])
         result = SweepResult(spec=self.spec, outcomes=outcomes, pending=deferred)
+
+        def manifest_entry(o: ShardOutcome) -> Dict[str, object]:
+            if o.status == "quarantined":
+                return {
+                    "shard_id": o.shard_id,
+                    "status": "quarantined",
+                    "attempts": o.attempts,
+                    "error": o.error,
+                }
+            # Successful entries keep the pre-hardening shape exactly,
+            # so a manifest from a recovered (retried) sweep is equal
+            # to one from a fault-free sweep.
+            return {
+                "shard_id": o.shard_id,
+                "status": "complete",
+                "metrics": o.metrics,
+            }
+
         self.store.write_manifest(
             {
                 "version": 1,
                 "spec": self.spec.to_json_dict(),
-                "shards": [
-                    {
-                        "shard_id": o.shard_id,
-                        "status": "complete",
-                        "metrics": o.metrics,
-                    }
-                    for o in outcomes
-                ]
+                "shards": [manifest_entry(o) for o in outcomes]
                 + [
                     {"shard_id": s.shard_id, "status": "pending"}
                     for s in deferred

@@ -1,0 +1,164 @@
+"""Bounded retry with capped exponential backoff and deterministic jitter.
+
+:class:`RetryPolicy` is the one retry shape the repo uses — the sweep
+engine's per-shard retries and the data layer's fetch retries both run
+through it.  Jitter is *deterministic*: the delay for ``(key, attempt)``
+is a pure function of the policy's jitter fraction and a stable hash,
+never of process randomness or wall clock, so a replayed fault plan
+produces identical retry schedules (the determinism discipline the rest
+of the repo runs on).
+
+``call_with_retry`` owns the loop: call, classify, sleep, repeat.  The
+sleeper and clock are injectable so chaos tests run instantly on a fake
+clock while production code defaults to ``time.sleep``/``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from ..utils.rng import stable_hash
+
+__all__ = ["RetriesExhausted", "RetryPolicy", "call_with_retry"]
+
+
+class RetriesExhausted(RuntimeError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    ``__cause__`` carries the last attempt's exception; ``attempts`` and
+    ``elapsed`` record what the loop actually did.
+    """
+
+    def __init__(self, message: str, attempts: int, elapsed: float):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between tries.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first call included); ``1`` disables retries.
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor per retry.
+    max_delay:
+        Cap on any single backoff.
+    jitter:
+        Fraction of the capped delay added deterministically in
+        ``[0, jitter)``, keyed by ``(key, attempt)`` — decorrelates a
+        fleet of retriers without sacrificing replayability.
+    timeout:
+        Optional total budget in seconds across all attempts (measured
+        on the injected clock); exceeded budgets stop retrying even
+        with attempts left.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.1
+    timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff after failed attempt ``attempt`` (0-based).
+
+        Pure function of the policy and ``(key, attempt)``: capped
+        exponential plus a deterministic jitter fraction drawn from a
+        stable hash.
+        """
+        raw = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        unit = stable_hash(f"retry:{key}:{attempt}", modulus=2 ** 30) / 2 ** 30
+        return raw * (1.0 + self.jitter * unit)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(payload.get("max_attempts", 3)),
+            base_delay=float(payload.get("base_delay", 0.1)),
+            multiplier=float(payload.get("multiplier", 2.0)),
+            max_delay=float(payload.get("max_delay", 10.0)),
+            jitter=float(payload.get("jitter", 0.1)),
+            timeout=(
+                None
+                if payload.get("timeout") is None
+                else float(payload["timeout"])
+            ),
+        )
+
+
+def call_with_retry(
+    fn: Callable[[int], Any],
+    policy: RetryPolicy,
+    key: str = "",
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> Any:
+    """Run ``fn(attempt)`` under ``policy`` and return its result.
+
+    ``fn`` receives the 0-based attempt number (callers that inject
+    faults key off it).  Exceptions outside ``retry_on`` propagate
+    immediately; retryable failures back off by
+    :meth:`RetryPolicy.delay` until attempts or the time budget run
+    out, then raise :class:`RetriesExhausted` from the last error.
+    ``on_retry(attempt, error, delay)`` observes each scheduled retry.
+    """
+    start = clock()
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt)
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.delay(attempt, key)
+            if policy.timeout is not None and (
+                clock() - start + delay > policy.timeout
+            ):
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    elapsed = clock() - start
+    attempts = attempt + 1
+    raise RetriesExhausted(
+        f"{key or 'call'} failed after {attempts} attempt(s) "
+        f"({elapsed:.3f}s): {last!r}",
+        attempts=attempts,
+        elapsed=elapsed,
+    ) from last

@@ -8,24 +8,42 @@ rebalance requests into single ``decide_batch`` forward passes.
 :class:`MicroBatcher` adds the cross-thread request coalescing, and
 :mod:`repro.serving.http` exposes the whole thing as a stdlib JSON
 HTTP endpoint (see ``examples/serving_demo.py``).
+
+Resilience: :class:`ServingResilience` arms a per-session circuit
+breaker (degraded hold-previous-weights responses instead of repeated
+failures), the micro-batcher takes admission/queue-deadline bounds
+(:class:`QueueFull` → HTTP 429, :class:`DeadlineExceeded` → HTTP 504),
+and corrupt checkpoints load as :class:`CheckpointCorrupt` naming the
+damaged file.  All off by default — the unhardened paths are
+bit-identical.
 """
 
 from .service import (
+    BatcherStats,
+    CheckpointCorrupt,
+    DeadlineExceeded,
     InvalidStrategyOutput,
     MicroBatcher,
     PortfolioService,
+    QueueFull,
     RebalanceRequest,
     RebalanceResponse,
     ServiceStats,
+    ServingResilience,
     SessionInfo,
 )
 
 __all__ = [
+    "BatcherStats",
+    "CheckpointCorrupt",
+    "DeadlineExceeded",
     "InvalidStrategyOutput",
     "MicroBatcher",
     "PortfolioService",
+    "QueueFull",
     "RebalanceRequest",
     "RebalanceResponse",
     "ServiceStats",
+    "ServingResilience",
     "SessionInfo",
 ]

@@ -9,14 +9,18 @@ network forward.
 Routes
 ------
 ``GET  /healthz``            liveness + stats
+``GET  /health``             liveness + stats + backpressure/degradation detail
 ``GET  /strategies``         names servable through the registry
 ``GET  /sessions``           live session descriptions
 ``POST /sessions``           ``{"session_id", "strategy", "params"?, "market"}``
 ``POST /rebalance``          ``{"session_id", "t"?}`` → one decision
 ``POST /rebalance/batch``    ``{"requests": [...]}`` → decisions in order
 
-Errors return ``{"error": "..."}`` with a 4xx status.  Start one with
-:func:`serve` (see ``examples/serving_demo.py``).
+Errors return ``{"error": "..."}`` with a 4xx status; backpressure maps
+to its own codes — a full admission queue
+(:class:`~repro.serving.QueueFull`) is a 429 and a queue-deadline
+expiry (:class:`~repro.serving.DeadlineExceeded`) a 504.  Start one
+with :func:`serve` (see ``examples/serving_demo.py``).
 """
 
 from __future__ import annotations
@@ -26,9 +30,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from .service import (
+    DeadlineExceeded,
     InvalidStrategyOutput,
     MicroBatcher,
     PortfolioService,
+    QueueFull,
     RebalanceRequest,
     decode_params,
 )
@@ -48,12 +54,20 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         micro_batch: bool = True,
         max_batch: int = 64,
         max_wait: float = 0.005,
+        max_queue: Optional[int] = None,
+        request_timeout: Optional[float] = None,
         quiet: bool = True,
     ):
         super().__init__(address, ServingHandler)
         self.service = service
         self.batcher: Optional[MicroBatcher] = (
-            MicroBatcher(service, max_batch=max_batch, max_wait=max_wait)
+            MicroBatcher(
+                service,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                max_queue=max_queue,
+                request_timeout=request_timeout,
+            )
             if micro_batch
             else None
         )
@@ -110,6 +124,26 @@ class ServingHandler(BaseHTTPRequestHandler):
                     "stats": service.stats.to_json_dict(),
                 },
             )
+        elif self.path == "/health":
+            # The resilience-aware sibling of /healthz: same liveness
+            # signal plus the counters an operator watches under load —
+            # degraded serving and admission-queue backpressure.
+            batcher = self.server.batcher
+            self._write_json(
+                200,
+                {
+                    "status": "ok",
+                    "sessions": len(service.session_ids()),
+                    "stats": service.stats.to_json_dict(),
+                    "degraded_responses": service.stats.degraded_responses,
+                    "breaker_trips": service.stats.breaker_trips,
+                    "batcher": (
+                        batcher.stats.to_json_dict()
+                        if batcher is not None
+                        else None
+                    ),
+                },
+            )
         elif self.path == "/strategies":
             self._write_json(200, {"strategies": list(service.registry.names())})
         elif self.path == "/sessions":
@@ -140,6 +174,13 @@ class ServingHandler(BaseHTTPRequestHandler):
                 self._rebalance_batch(payload)
             else:
                 self._error(404, f"unknown path {self.path!r}")
+        except QueueFull as exc:
+            # Backpressure, not failure: the admission queue is at its
+            # bound — clients should back off and retry.
+            self._error(429, str(exc))
+        except DeadlineExceeded as exc:
+            # The request aged out waiting for a batch leader.
+            self._error(504, str(exc))
         except InvalidStrategyOutput as exc:
             # Server-side strategy fault, not a bad request.
             self._error(500, str(exc))
@@ -217,11 +258,16 @@ def serve(
     micro_batch: bool = True,
     max_batch: int = 64,
     max_wait: float = 0.005,
+    max_queue: Optional[int] = None,
+    request_timeout: Optional[float] = None,
     quiet: bool = True,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever()`` on it.
 
     ``port=0`` picks a free port (``server.server_address`` has it).
+    ``max_queue``/``request_timeout`` bound the micro-batcher's
+    admission queue (429) and queue wait (504); ``None`` leaves both
+    unbounded.
     """
     return ServiceHTTPServer(
         (host, port),
@@ -229,5 +275,7 @@ def serve(
         micro_batch=micro_batch,
         max_batch=max_batch,
         max_wait=max_wait,
+        max_queue=max_queue,
+        request_timeout=request_timeout,
         quiet=quiet,
     )

@@ -14,8 +14,18 @@ with ``run_backtest``.
 
 Checkpointing persists every session (market panel, cursor, weights)
 plus the network state dicts of learned strategies through
-:mod:`repro.utils.serialization`, so a service can be stopped and
+:mod:`repro.utils.serialization` (every file atomic, the manifest
+written last as the commit point), so a service can be stopped and
 resumed with identical subsequent decisions.
+
+Resilience (PR 7): an optional :class:`ServingResilience` config arms a
+per-session circuit breaker — a session whose strategy keeps failing is
+served *degraded* hold-previous-weights responses
+(:attr:`RebalanceResponse.degraded`) for a cooldown instead of failing
+every caller — and an optional
+:class:`~repro.resilience.FaultPlan` arms the serving chaos seams
+(forward raises, slow sessions, checkpoint corruption).  Both default
+to off, leaving the unhardened bit-identical paths.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ from ..envs.costs import (
 from ..envs.observations import ObservationConfig
 from ..envs.portfolio import normalize_action
 from ..registry import DEFAULT_REGISTRY, StrategyRegistry
+from ..resilience import InjectedFault, injector_from
 from ..risk import LockoutState
 from ..snn.neurons import LIFParameters
 from ..utils.serialization import (
@@ -56,12 +67,17 @@ from ..utils.serialization import (
 )
 
 __all__ = [
+    "BatcherStats",
+    "CheckpointCorrupt",
+    "DeadlineExceeded",
     "InvalidStrategyOutput",
     "MicroBatcher",
     "PortfolioService",
+    "QueueFull",
     "RebalanceRequest",
     "RebalanceResponse",
     "ServiceStats",
+    "ServingResilience",
     "SessionInfo",
 ]
 
@@ -69,6 +85,44 @@ __all__ = [
 class InvalidStrategyOutput(ValueError):
     """A strategy produced invalid weights (a server-side fault, not a
     bad request — the HTTP layer maps it to a 500)."""
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file failed to load — truncated, tampered, or
+    missing.  The message names the offending file so operators know
+    what to restore."""
+
+
+class QueueFull(RuntimeError):
+    """The micro-batcher's bounded admission queue rejected a request
+    (backpressure — the HTTP layer maps it to a 429)."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A queued request waited past its deadline without being served
+    (the HTTP layer maps it to a 504)."""
+
+
+@dataclass(frozen=True)
+class ServingResilience:
+    """Per-session circuit-breaker configuration.
+
+    After ``failure_threshold`` consecutive strategy failures a
+    session's breaker opens: its next ``cooldown_decisions`` requests
+    are served degraded (previous weights held, cursor advanced,
+    ``degraded=True``) without touching the strategy.  The first
+    request after the cooldown is the half-open probe — success closes
+    the breaker, another failure reopens it.
+    """
+
+    failure_threshold: int = 3
+    cooldown_decisions: int = 8
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_decisions < 1:
+            raise ValueError("cooldown_decisions must be >= 1")
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +165,34 @@ _market_to_state = market_to_state
 _market_from_state = market_from_state
 
 
+def _read_checkpoint_file(path: Path, loader, referenced: bool = False):
+    """Load one checkpoint file, turning damage into a structured error.
+
+    Truncated/corrupt bytes (a torn npz, half a JSON manifest) raise
+    :class:`CheckpointCorrupt` naming the file.  ``referenced=True``
+    marks files the manifest points at — for those, *missing* is also
+    corruption (the commit mark exists but its contents do not), while
+    a missing manifest itself stays ``FileNotFoundError``.
+    """
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        if referenced:
+            raise CheckpointCorrupt(
+                f"checkpoint file {path} is referenced by the manifest "
+                "but missing"
+            ) from None
+        raise
+    except Exception as exc:
+        # np.load raises zipfile.BadZipFile/ValueError/EOFError on torn
+        # archives and json raises JSONDecodeError on torn text; the
+        # loader does nothing but read, so anything it throws is a
+        # damaged file.
+        raise CheckpointCorrupt(
+            f"checkpoint file {path} is corrupt: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RebalanceRequest:
@@ -150,6 +232,11 @@ class RebalanceResponse:
     strategy: str
     execution: Optional[Dict[str, float]] = None
     risk: Optional[Dict[str, Any]] = None
+    # True when a circuit-broken session held its previous weights
+    # instead of consulting the strategy (resilience-enabled services
+    # only).  Healthy responses omit the key on the wire entirely, so
+    # hardened and unhardened payloads are byte-identical.
+    degraded: bool = False
 
     def to_json_dict(self) -> Dict[str, Any]:
         payload = {
@@ -162,6 +249,8 @@ class RebalanceResponse:
             payload["execution"] = dict(self.execution)
         if self.risk is not None:
             payload["risk"] = dict(self.risk)
+        if self.degraded:
+            payload["degraded"] = True
         return payload
 
 
@@ -191,6 +280,8 @@ class ServiceStats:
     single_decisions: int = 0
     largest_batch: int = 0
     sessions_created: int = 0
+    degraded_responses: int = 0
+    breaker_trips: int = 0
 
     def to_json_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -234,6 +325,11 @@ class _Session:
     risk_value: float = 1.0
     risk_w_drifted: Optional[np.ndarray] = None
     lockout: Optional[LockoutState] = None
+    # Circuit-breaker counters (resilience-enabled services only).
+    # Runtime state, deliberately not checkpointed: a restored service
+    # starts every breaker closed.
+    breaker_failures: int = 0
+    breaker_cooldown: int = 0
 
 
 class PortfolioService:
@@ -267,6 +363,17 @@ class PortfolioService:
         layer entirely.  The engine is a runtime setting; the
         per-session guardrail state (value, high-water mark, lockout)
         persists through checkpoints.
+    resilience:
+        Optional :class:`ServingResilience` enabling the per-session
+        circuit breaker.  ``None`` (default) keeps today's semantics:
+        strategy failures abort the whole transactional batch and
+        propagate.
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan` (or prepared
+        :class:`~repro.resilience.FaultInjector`) arming the serving
+        chaos seams — injected forward failures, slow sessions, and
+        checkpoint corruption.  ``None`` or an empty plan leaves every
+        seam cold.
     """
 
     def __init__(
@@ -275,9 +382,18 @@ class PortfolioService:
         commission: float = DEFAULT_COMMISSION,
         execution=None,
         risk=None,
+        resilience: Optional[ServingResilience] = None,
+        faults=None,
     ):
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.commission = float(commission)
+        self._resilience = resilience
+        self._injector = injector_from(faults)
+        # Session ids with any breaker state (failures or cooldown).
+        # Empty set == every breaker closed and clean, so the resilient
+        # dispatch can take the transactional hot path with O(1) extra
+        # work per batch.  Ids only leave the set on the general path.
+        self._breaker_dirty: set = set()
         # Resolved once: the ZeroSlippage fast path must cost nothing
         # per decision, not re-test the model every round.
         self._execution = (
@@ -561,6 +677,7 @@ class PortfolioService:
 
     def close_session(self, session_id: str) -> None:
         with self._lock:
+            self._breaker_dirty.discard(session_id)
             session = self._sessions.pop(session_id, None)
             if session is None:
                 return
@@ -623,9 +740,133 @@ class PortfolioService:
         produced a valid decision.  Any error — unknown session, index
         out of range, a strategy returning invalid weights — leaves
         every session untouched.
+
+        With a :class:`ServingResilience` config the transaction is a
+        best-effort outer shell instead: a strategy failure no longer
+        fails the whole batch — the offending requests are isolated,
+        their sessions' breaker counters advance, and circuit-broken
+        sessions are served degraded hold-previous-weights responses
+        (``degraded=True``) while healthy siblings commit normally.
+        Client errors (unknown session, out-of-range index) still raise
+        either way.
         """
         if not requests:
             return []
+        if self._resilience is None:
+            return self._rebalance_transactional(requests)
+        return self._rebalance_resilient(requests)
+
+    def _rebalance_resilient(
+        self, requests: Sequence[RebalanceRequest]
+    ) -> List[RebalanceResponse]:
+        """The circuit-breaker shell around the transactional core."""
+        with self._lock:
+            if not self._breaker_dirty:
+                # Hot path: every breaker closed and clean.  Serve the
+                # whole batch through the transactional core with O(1)
+                # extra work — the overhead budget the bench gates on.
+                try:
+                    return self._rebalance_transactional(requests)
+                except Exception:
+                    pass
+                responses: List[Optional[RebalanceResponse]] = [None] * len(requests)
+                live: List[Tuple[int, RebalanceRequest]] = list(enumerate(requests))
+            else:
+                responses = [None] * len(requests)
+                live = []
+                for i, req in enumerate(requests):
+                    session = self._session(req.session_id)
+                    if session.breaker_cooldown > 0:
+                        responses[i] = self._serve_degraded(session, req)
+                    else:
+                        live.append((i, req))
+                if live:
+                    try:
+                        served = self._rebalance_transactional(
+                            [req for _, req in live]
+                        )
+                    except Exception:
+                        served = None
+                    if served is not None:
+                        for (i, _), resp in zip(live, served):
+                            responses[i] = resp
+                        for _, req in live:
+                            self._reset_breaker(self._sessions[req.session_id])
+                        live = []
+            # The live batch failed as a whole; replay it one request at
+            # a time so only the offenders degrade.  Earlier successes
+            # in the replay stay committed — isolation trades away
+            # all-or-nothing on purpose.
+            for i, req in live:
+                session = self._session(req.session_id)
+                if session.breaker_cooldown > 0:
+                    responses[i] = self._serve_degraded(session, req)
+                    continue
+                try:
+                    responses[i] = self._rebalance_transactional([req])[0]
+                    self._reset_breaker(session)
+                except (KeyError, TypeError):
+                    raise  # client error, breaker not at fault
+                except Exception as exc:
+                    if isinstance(exc, ValueError) and not isinstance(
+                        exc, InvalidStrategyOutput
+                    ):
+                        raise  # bad index etc. — client error
+                    self._record_breaker_failure(session)
+                    responses[i] = self._serve_degraded(session, req)
+            return responses  # type: ignore[return-value]
+
+    def _serve_degraded(
+        self, session: _Session, request: RebalanceRequest
+    ) -> RebalanceResponse:
+        """Hold-previous-weights response for a circuit-broken session.
+
+        The cursor still advances (a live stream keeps flowing) but the
+        strategy, the served weights, and the risk paper book are left
+        untouched — the degraded period is a hold, not a trade.
+        """
+        t = int(request.t) if request.t is not None else session.next_t
+        first = session.observation.first_decision_index()
+        if not first <= t <= session.data.n_periods - 2:
+            raise ValueError(
+                f"session {session.session_id!r}: decision index {t} "
+                f"outside decidable range "
+                f"[{first}, {session.data.n_periods - 2}]"
+            )
+        session.next_t = t + 1
+        session.decisions += 1
+        if session.breaker_cooldown > 0:
+            session.breaker_cooldown -= 1
+        self.stats.requests_served += 1
+        self.stats.degraded_responses += 1
+        return RebalanceResponse(
+            session_id=session.session_id,
+            t=t,
+            weights=session.w_prev.copy(),
+            strategy=session.spec["strategy"],
+            degraded=True,
+        )
+
+    def _reset_breaker(self, session: _Session) -> None:
+        """A successful live decision closes the session's breaker."""
+        session.breaker_failures = 0
+        if session.breaker_cooldown == 0:
+            self._breaker_dirty.discard(session.session_id)
+
+    def _record_breaker_failure(self, session: _Session) -> None:
+        session.breaker_failures += 1
+        self._breaker_dirty.add(session.session_id)
+        if session.breaker_failures >= self._resilience.failure_threshold:
+            session.breaker_cooldown = self._resilience.cooldown_decisions
+            # Leave the counter one below the threshold: the half-open
+            # probe after the cooldown reopens on a single failure,
+            # while a success resets the counter to zero.
+            session.breaker_failures = self._resilience.failure_threshold - 1
+            self.stats.breaker_trips += 1
+
+    def _rebalance_transactional(
+        self, requests: Sequence[RebalanceRequest]
+    ) -> List[RebalanceResponse]:
         with self._lock:
             # Resolve every request upfront: staged per-session cursor
             # and weights that rounds read and write without touching
@@ -725,6 +966,18 @@ class PortfolioService:
     ) -> None:
         """Decide one round of requests over pairwise-distinct sessions,
         reading and writing only the staged state."""
+        if self._injector is not None:
+            # Chaos seams, keyed (session, t) so replays are identical:
+            # slow sessions stall here (inside the round, where a real
+            # slow forward would), injected forward failures raise —
+            # aborting the transactional batch exactly like a genuine
+            # strategy error, which is what the breaker shell isolates.
+            for _, session, t in items:
+                self._injector.maybe_stall(session.session_id, t)
+                if self._injector.forward_fails(session.session_id, t):
+                    raise InjectedFault(
+                        "serving.forward", f"{session.session_id}:{t}"
+                    )
         # Group batchable work by shared agent instance.
         groups: Dict[int, List[Tuple[int, _Session, int]]] = {}
         singles: List[Tuple[int, _Session, int]] = []
@@ -918,6 +1171,12 @@ class PortfolioService:
         ``.npz`` per market panel and per learned-strategy state dict.
         Strategy params must be JSON-encodable (the repo's config
         dataclasses are handled via type tags).
+
+        Every file is written atomically (temp file + ``os.replace``)
+        and the manifest lands last, so a crash mid-save leaves either
+        the previous checkpoint or a directory whose stale manifest
+        still references only fully-written files — never a manifest
+        pointing at torn ones.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -996,6 +1255,11 @@ class PortfolioService:
                     "sessions": sessions_payload,
                 },
             )
+        if self._injector is not None:
+            # Chaos seam: tear checkpoint files per the plan *after* the
+            # clean save, emulating post-write disk corruption that
+            # load_checkpoint must surface as CheckpointCorrupt.
+            self._injector.corrupt_checkpoint(path)
         return path
 
     @classmethod
@@ -1012,9 +1276,14 @@ class PortfolioService:
         load; persisted guardrail state (version 2) is restored either
         way, and version-1 sessions simply arm fresh on their next
         decision.
+
+        A truncated or tampered checkpoint file raises
+        :class:`CheckpointCorrupt` naming the offending file (a missing
+        *checkpoint* still raises ``FileNotFoundError`` — absent and
+        corrupt are different operator problems).
         """
         path = Path(path)
-        manifest = load_json(path / "manifest.json")
+        manifest = _read_checkpoint_file(path / "manifest.json", load_json)
         if manifest.get("version") not in (1, 2):
             raise ValueError(f"unsupported checkpoint version {manifest.get('version')!r}")
         service = cls(
@@ -1023,7 +1292,11 @@ class PortfolioService:
 
         markets: Dict[str, MarketData] = {}
         for name, filename in manifest["markets"].items():
-            markets[name] = _market_from_state(load_state_dict(path / filename))
+            markets[name] = _market_from_state(
+                _read_checkpoint_file(
+                    path / filename, load_state_dict, referenced=True
+                )
+            )
             service._markets[name] = markets[name]
 
         agents: Dict[str, Tuple[Agent, Dict[str, Any], bool, str]] = {}
@@ -1035,7 +1308,9 @@ class PortfolioService:
             agent = service.registry.create(spec["strategy"], **spec["params"])
             if entry["weights"] is not None:
                 agent.network.load_state_dict(
-                    load_state_dict(path / entry["weights"])
+                    _read_checkpoint_file(
+                        path / entry["weights"], load_state_dict, referenced=True
+                    )
                 )
             shared = bool(entry["shared"])
             # Older checkpoints (no "agent_key") shared under the
@@ -1102,6 +1377,19 @@ class _Slot:
         self.done = False
 
 
+@dataclass
+class BatcherStats:
+    """Backpressure counters for the micro-batcher's admission queue."""
+
+    submitted: int = 0
+    queue_rejections: int = 0      # QueueFull raised at admission
+    deadline_expirations: int = 0  # DeadlineExceeded raised in queue
+    max_queue_depth: int = 0       # high-water mark of pending requests
+
+    def to_json_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
 class MicroBatcher:
     """Coalesces concurrent rebalance requests into batched service calls.
 
@@ -1110,6 +1398,16 @@ class MicroBatcher:
     accumulate), then flushes the whole batch through
     :meth:`PortfolioService.rebalance_many` — one SNN forward for the
     lot — and distributes the responses.
+
+    ``max_queue`` bounds admission: a request arriving with that many
+    already pending is rejected with :class:`QueueFull` instead of
+    growing the queue without limit.  ``request_timeout`` bounds the
+    *queue wait*: a request still unclaimed by a leader when its
+    deadline passes removes itself and raises :class:`DeadlineExceeded`
+    (once a leader has taken it into a flush it is served normally —
+    in-flight work is never abandoned).  Both default to unbounded,
+    preserving the unhardened behaviour; :attr:`stats` counts
+    rejections, expirations, and the queue's high-water mark.
     """
 
     def __init__(
@@ -1117,12 +1415,23 @@ class MicroBatcher:
         service: PortfolioService,
         max_batch: int = 64,
         max_wait: float = 0.005,
+        max_queue: Optional[int] = None,
+        request_timeout: Optional[float] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0 (or None)")
         self.service = service
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.max_queue = None if max_queue is None else int(max_queue)
+        self.request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
+        self.stats = BatcherStats()
         self._cond = threading.Condition()
         self._pending: List[Tuple[RebalanceRequest, _Slot]] = []
         self._leader_active = False
@@ -1134,15 +1443,60 @@ class MicroBatcher:
         becomes the leader itself; leadership hands over whenever a
         flush completes with requests still queued, so no waiter can
         be stranded past the batch cut.
+
+        Raises :class:`QueueFull` when the admission queue is at
+        ``max_queue``, and :class:`DeadlineExceeded` when the request
+        is still queued after ``request_timeout`` seconds.
         """
         slot = _Slot()
         with self._cond:
+            if (
+                self.max_queue is not None
+                and len(self._pending) >= self.max_queue
+            ):
+                self.stats.queue_rejections += 1
+                raise QueueFull(
+                    f"admission queue full ({len(self._pending)} pending, "
+                    f"max_queue={self.max_queue})"
+                )
             self._pending.append((request, slot))
+            self.stats.submitted += 1
+            self.stats.max_queue_depth = max(
+                self.stats.max_queue_depth, len(self._pending)
+            )
             self._cond.notify_all()
+        deadline = (
+            None
+            if self.request_timeout is None
+            else time.monotonic() + self.request_timeout
+        )
         while True:
             with self._cond:
                 while not slot.done and (self._leader_active or not self._pending):
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        self._cond.wait(remaining)
+                        continue
+                    # Deadline passed.  Still queued → withdraw and
+                    # fail; already claimed by a leader → the decision
+                    # is in flight, wait it out (it will be served).
+                    withdrawn = False
+                    for i, (_, pending_slot) in enumerate(self._pending):
+                        if pending_slot is slot:
+                            del self._pending[i]
+                            withdrawn = True
+                            break
+                    if withdrawn:
+                        self.stats.deadline_expirations += 1
+                        raise DeadlineExceeded(
+                            f"request for session "
+                            f"{request.session_id!r} spent more than "
+                            f"{self.request_timeout}s in the queue"
+                        )
+                    deadline = None
                 if slot.done:
                     if slot.error is not None:
                         raise slot.error

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Type, Union
 
@@ -27,13 +28,34 @@ PathLike = Union[str, Path]
 
 # ----------------------------------------------------------------------
 # npz / json primitives
+#
+# All writes are atomic: content lands in a same-directory temp file
+# first, then ``os.replace`` publishes it in one step.  A reader (or a
+# resume scan) therefore never sees a torn half-written npz/json — it
+# sees either the old file, no file, or the complete new file.
+
+
+def _atomic_replace(path: Path, tmp: Path) -> None:
+    try:
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def save_state_dict(path: PathLike, state: Dict[str, np.ndarray]) -> None:
-    """Persist a module state dict to an ``.npz`` archive."""
+    """Persist a module state dict to an ``.npz`` archive (atomically)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **state)
+    # np.savez appends ".npz" to names that lack it, so the temp name
+    # keeps the suffix to stay predictable.
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez(tmp, **state)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _atomic_replace(path, tmp)
 
 
 def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
@@ -55,10 +77,16 @@ def _coerce(value: Any) -> Any:
 
 
 def save_json(path: PathLike, payload: Dict[str, Any]) -> None:
-    """Write a JSON result file, coercing numpy types."""
+    """Write a JSON result file atomically, coercing numpy types."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(_coerce(payload), indent=2, sort_keys=True))
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(_coerce(payload), indent=2, sort_keys=True))
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _atomic_replace(path, tmp)
 
 
 def load_json(path: PathLike) -> Dict[str, Any]:
