@@ -27,6 +27,13 @@ serving-relevant workloads plus the training loop:
   be bit-identical to the unhardened code across the data plane, the
   sweep engine (manifest equality), and serving (decision JSON), and
   the hardened serving dispatch must cost ≤ 1.1x the plain path.
+* **load** — the supervised multi-worker serving tier: session-creation
+  ramp and sustained ``rebalance_many`` rounds against a 2-worker
+  :class:`~repro.serving.ServingSupervisor` (two markets, one per
+  worker), a single-worker run that must be bit-identical to the plain
+  in-process service, and a chaos leg where a fault plan kills one
+  worker mid-run — the run must complete with ≥1 restart, zero lost
+  sessions, and responses identical to the healthy run.
 * **training** — ``PolicyTrainer`` minibatch steps on a SharedSDP agent
   three ways: the *seed* path (closure-graph forward/backward plus the
   seed's allocating prologue — ``select_assets`` with full-panel
@@ -615,6 +622,176 @@ def bench_resilience(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     }
 
 
+def bench_load(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
+    """Supervised multi-worker serving under load: ramp, sustained
+    throughput, single-worker parity, and a chaos leg.
+
+    Four runs over the same two-market session population:
+
+    * **two workers, healthy** — session-creation ramp (creates/sec)
+      followed by sustained ``rebalance_many`` rounds (p50/p99 round
+      latency, decisions/sec) against a 2-worker
+      :class:`~repro.serving.ServingSupervisor`, markets chosen so each
+      worker owns one panel.
+    * **one worker, no fault plan** — the ISSUE's invariant, gated
+      under ``--check``: responses must be bit-identical (JSON
+      payloads) to a plain in-process
+      :class:`~repro.serving.PortfolioService`.
+    * **plain service** — the in-process reference the parity leg is
+      compared against.
+    * **chaos** — the same 2-worker run with a deterministic
+      ``serving.worker_crash`` fault killing one worker mid-run; must
+      complete with ``worker_restarts >= 1``, zero lost sessions, and
+      responses bit-identical to the healthy 2-worker run, then drain
+      every session cleanly.
+    """
+    import tempfile
+
+    from repro.resilience import FaultPlan, ServingFaults
+    from repro.serving import ServingSupervisor
+    from repro.utils.rng import stable_hash
+
+    params = {"observation": OBSERVATION, **AGENT_PARAMS}
+    decisions = n_sessions * n_rounds
+
+    # Two markets whose stable hashes route to distinct workers of a
+    # 2-worker supervisor, so both shards carry load.
+    names: Dict[int, str] = {}
+    for i in range(64):
+        candidate = f"panel-{i}"
+        names.setdefault(stable_hash(candidate) % 2, candidate)
+        if len(names) == 2:
+            break
+    markets = {
+        names[owner]: MarketGenerator(seed=500 + owner)
+        .generate("2019/01/01", "2019/02/01", 7200)
+        .select_assets(list(range(n_assets)))
+        for owner in sorted(names)
+    }
+    market_names = sorted(markets)
+
+    def session_market(i: int) -> str:
+        return market_names[i % len(market_names)]
+
+    def run_supervised(workers: int, faults=None):
+        """Ramp + sustained rounds through a supervisor; returns the
+        response JSON payloads plus timing and failover counters."""
+        with tempfile.TemporaryDirectory() as tmp:
+            sup = ServingSupervisor(Path(tmp) / "state", workers=workers, faults=faults)
+            try:
+                for name, panel in markets.items():
+                    sup.register_market(name, panel)
+                t0 = time.perf_counter()
+                for i in range(n_sessions):
+                    sup.create_session(
+                        f"s{i}", strategy="sdp", params=params,
+                        market=session_market(i),
+                    )
+                ramp_s = time.perf_counter() - t0
+                requests = [RebalanceRequest(f"s{i}") for i in range(n_sessions)]
+                responses = []
+                round_lat: List[float] = []
+                t0 = time.perf_counter()
+                for _ in range(n_rounds):
+                    r0 = time.perf_counter()
+                    responses.extend(
+                        r.to_json_dict() for r in sup.rebalance_many(requests)
+                    )
+                    round_lat.append(time.perf_counter() - r0)
+                sustained_s = time.perf_counter() - t0
+                drain = sup.drain(timeout=60.0)
+                return {
+                    "responses": responses,
+                    "ramp_s": ramp_s,
+                    "sustained_s": sustained_s,
+                    "round_lat": round_lat,
+                    "restarts": sup.stats.worker_restarts,
+                    "failovers": sup.stats.failovers,
+                    "sessions": len(sup.session_ids()),
+                    "drained": drain["sessions_checkpointed"],
+                    "exit_codes": [w["exit_code"] for w in drain["workers"]],
+                }
+            finally:
+                sup.close()
+
+    healthy = run_supervised(workers=2)
+    single = run_supervised(workers=1)
+
+    # In-process reference for the single-worker parity gate.
+    service = PortfolioService()
+    for name, panel in markets.items():
+        service.register_market(name, panel)
+    for i in range(n_sessions):
+        service.create_session(
+            f"s{i}", strategy="sdp", params=params, market=session_market(i)
+        )
+    requests = [RebalanceRequest(f"s{i}") for i in range(n_sessions)]
+    plain_responses = []
+    plain_lat: List[float] = []
+    t0 = time.perf_counter()
+    for _ in range(n_rounds):
+        r0 = time.perf_counter()
+        plain_responses.extend(
+            r.to_json_dict() for r in service.rebalance_many(requests)
+        )
+        plain_lat.append(time.perf_counter() - r0)
+    plain_s = time.perf_counter() - t0
+    single_identical = single["responses"] == plain_responses
+
+    # Chaos: kill the worker owning the first market mid-run (batch ids
+    # are 0-based and monotonic per worker, one batch per round here).
+    crash_worker = stable_hash(market_names[0]) % 2
+    crash_batch = max(1, n_rounds // 2)
+    plan = FaultPlan(
+        seed=0,
+        serving=ServingFaults(worker_crash_batches=((crash_worker, crash_batch),)),
+    )
+    chaos = run_supervised(workers=2, faults=plan)
+    chaos_identical = chaos["responses"] == healthy["responses"]
+    lost_sessions = n_sessions - chaos["sessions"]
+
+    return {
+        "sessions": n_sessions,
+        "rounds": n_rounds,
+        "markets": {
+            name: stable_hash(name) % 2 for name in market_names
+        },
+        "ramp": {
+            "sessions": n_sessions,
+            "seconds": round(healthy["ramp_s"], 4),
+            "creates_per_sec": round(n_sessions / healthy["ramp_s"], 1),
+        },
+        "paths": [
+            _stats(
+                "load_two_workers", decisions,
+                healthy["sustained_s"], healthy["round_lat"],
+            ),
+            _stats(
+                "load_single_worker", decisions,
+                single["sustained_s"], single["round_lat"],
+            ),
+            _stats("load_in_process", decisions, plain_s, plain_lat),
+        ],
+        "single_worker_bit_identical": bool(single_identical),
+        "overhead_single_worker_vs_in_process": round(
+            single["sustained_s"] / plain_s, 2
+        ),
+        "chaos": {
+            "plan": (
+                f"serving.worker_crash at worker {crash_worker}, "
+                f"batch {crash_batch}"
+            ),
+            "completed": True,
+            "worker_restarts": chaos["restarts"],
+            "failovers": chaos["failovers"],
+            "lost_sessions": int(lost_sessions),
+            "responses_bit_identical": bool(chaos_identical),
+            "sessions_drained": chaos["drained"],
+            "worker_exit_codes": chaos["exit_codes"],
+        },
+    }
+
+
 def bench_serving(panel, n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     params = {"observation": OBSERVATION, **AGENT_PARAMS}
 
@@ -706,6 +883,7 @@ def main(argv=None) -> int:
     risk = bench_risk(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
     resilience = bench_resilience(args.assets, args.sessions, args.rounds)
+    load = bench_load(args.assets, args.sessions, args.rounds)
     training = bench_training(make_training_panel(args.assets), args.train_steps)
 
     report = {
@@ -722,11 +900,12 @@ def main(argv=None) -> int:
         "risk": risk,
         "serving": serving,
         "resilience": resilience,
+        "load": load,
         "training": training,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    for section in ("backtest", "execution", "risk", "serving"):
+    for section in ("backtest", "execution", "risk", "serving", "load"):
         for path in report[section]["paths"]:
             print(
                 f"{path['name']:32s} {path['decisions_per_sec']:>9.1f} dec/s   "
@@ -768,6 +947,20 @@ def main(argv=None) -> int:
         f"bit-identical weights+PVM after {args.train_steps} steps: "
         f"{training['weights_bit_identical']}"
     )
+    chaos = load["chaos"]
+    print(
+        f"load ramp: {load['ramp']['creates_per_sec']} creates/s; "
+        f"single-worker bit-identical to in-process: "
+        f"{load['single_worker_bit_identical']} "
+        f"({load['overhead_single_worker_vs_in_process']}x overhead)"
+    )
+    print(
+        f"load chaos ({chaos['plan']}): restarts {chaos['worker_restarts']}, "
+        f"failovers {chaos['failovers']}, lost sessions "
+        f"{chaos['lost_sessions']}, responses bit-identical: "
+        f"{chaos['responses_bit_identical']}, drained "
+        f"{chaos['sessions_drained']}/{load['sessions']}"
+    )
     parity = resilience["no_plan_bit_identical"]
     print(
         f"resilience no-plan parity (backtest/sweep/serving): "
@@ -801,6 +994,25 @@ def main(argv=None) -> int:
                 "RESILIENCE OVERHEAD: hardened serving dispatch cost "
                 f"{resilience['overhead_resilient_vs_plain']}x the plain path "
                 f"(budget {resilience['overhead_budget']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if not load["single_worker_bit_identical"]:
+            print(
+                "LOAD PARITY MISMATCH: single-worker supervisor diverged "
+                "from the in-process service",
+                file=sys.stderr,
+            )
+            return 1
+        if not (
+            chaos["responses_bit_identical"]
+            and chaos["worker_restarts"] >= 1
+            and chaos["lost_sessions"] == 0
+            and chaos["sessions_drained"] == load["sessions"]
+        ):
+            print(
+                "LOAD CHAOS FAILURE: crash failover lost work "
+                f"({chaos})",
                 file=sys.stderr,
             )
             return 1

@@ -290,15 +290,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .data import MarketGenerator, top_volume_assets
     from .experiments import make_config
-    from .serving import PortfolioService
+    from .resilience import FaultPlan
+    from .serving import PortfolioService, ServingSupervisor
     from .serving.http import serve
 
-    if args.checkpoint is not None:
-        service = PortfolioService.load_checkpoint(args.checkpoint)
-    else:
-        service = PortfolioService()
+    faults = (
+        FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
+    )
+
+    def demo_panel():
         config = make_config(1, args.profile)
         generator = MarketGenerator(seed=config.market_seed)
         panel = generator.generate(
@@ -308,20 +313,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         assets = top_volume_assets(
             panel, config.window.test_start, k=config.num_assets
         )
-        service.register_market("default", panel.select_assets(assets))
+        return panel.select_assets(assets)
+
+    supervisor = None
+    if args.workers is not None:
+        # Supervised multi-worker tier: sessions persist write-through
+        # in --state-dir and survive worker crashes and restarts.
+        if args.state_dir is None:
+            raise SystemExit("--workers requires --state-dir (the session store)")
+        if args.checkpoint is not None or args.artifact_store is not None:
+            raise SystemExit(
+                "--workers serves from --state-dir; --checkpoint/"
+                "--artifact-store apply to the in-process mode only"
+            )
+        supervisor = ServingSupervisor(
+            args.state_dir, workers=args.workers, faults=faults
+        )
+        if "default" not in supervisor.market_names():
+            supervisor.register_market("default", demo_panel())
+        front = supervisor
+    elif args.checkpoint is not None:
+        front = PortfolioService.load_checkpoint(args.checkpoint, faults=faults)
+    else:
+        service = PortfolioService(faults=faults)
+        service.register_market("default", demo_panel())
         if args.artifact_store is not None and args.shard is not None:
             service.create_session_from_artifact(
                 "artifact", args.artifact_store, args.shard, market="default"
             )
-    server = serve(service, host=args.host, port=args.port)
+        front = service
+    server = serve(front, host=args.host, port=args.port)
     host, port = server.server_address[:2]
-    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+
+    # Graceful drain: SIGTERM/SIGINT stop the accept loop (from a helper
+    # thread — server.shutdown() deadlocks when called from the thread
+    # running serve_forever), then in-flight work flushes and state is
+    # checkpointed before exit, instead of dying mid-batch.
+    stopping = threading.Event()
+
+    def _graceful(signum, frame):
+        if stopping.is_set():
+            return
+        stopping.set()
+        print(f"received signal {signum}; draining...", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    mode = (
+        f"{args.workers} supervised workers" if supervisor is not None
+        else "in-process"
+    )
+    print(f"serving on http://{host}:{port} ({mode}; SIGTERM/Ctrl-C drains)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+    if supervisor is not None:
+        report = supervisor.drain()
+        print(
+            f"drained: {report['sessions_checkpointed']} sessions "
+            f"checkpointed across {len(report['workers'])} workers "
+            f"(exit codes {[w['exit_code'] for w in report['workers']]})"
+        )
+    elif args.state_dir is not None:
+        # In-process mode still honours --state-dir as "where the final
+        # checkpoint goes" on shutdown.
+        path = front.save_checkpoint(Path(args.state_dir) / "final")
+        print(f"final checkpoint saved to {path}")
     return 0
 
 
@@ -428,6 +489,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep artifact store to load a strategy from",
     )
     p_serve.add_argument("--shard", default=None, help="shard id in the store")
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="run the supervised multi-worker tier with N worker "
+        "processes (requires --state-dir; default: in-process)",
+    )
+    p_serve.add_argument(
+        "--state-dir", default=None,
+        help="session state store root (supervised mode: write-through "
+        "persistence + crash failover; in-process mode: where the final "
+        "checkpoint lands on shutdown)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault plan (repro.resilience.FaultPlan) arming the "
+        "serving chaos seams, including supervised worker crashes",
+    )
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -20,8 +20,11 @@ Seams
     leaves a partial artifact dir (the killed-worker shape), and
     permanently broken shards (the quarantine path).
 ``serving.*``
-    Agent forwards that raise, slow sessions exceeding a deadline, and
-    corrupted checkpoint bytes.
+    Agent forwards that raise, slow sessions exceeding a deadline,
+    corrupted checkpoint bytes, and — for the supervised multi-worker
+    tier — worker processes that die mid-batch
+    (:meth:`FaultInjector.worker_crashes`, consumed by
+    :class:`~repro.serving.ServingSupervisor` workers).
 
 An all-zero plan is *empty*: every consumer checks
 :meth:`FaultPlan.is_empty` once and takes today's exact code path, so
@@ -151,20 +154,45 @@ class SweepFaults:
 
 @dataclass(frozen=True)
 class ServingFaults:
-    """Serving-seam behaviour (all drawn per ``(session_id, t)``)."""
+    """Serving-seam behaviour.
+
+    Session faults (``forward_error_rate``/``slow_rate``) draw per
+    ``(session_id, t)``; worker-crash faults target the supervised
+    multi-worker tier and draw per ``(worker, batch_id)``, where
+    ``batch_id`` is the supervisor's monotonically increasing per-worker
+    dispatch counter.  A replayed batch after a failover carries a *new*
+    ``batch_id``, so an explicit one-shot entry in
+    ``worker_crash_batches`` is guaranteed to recover — the load-test
+    chaos gate's contract.
+    """
 
     forward_error_rate: float = 0.0    # the agent forward raises
     slow_rate: float = 0.0             # the round stalls slow_seconds
     slow_seconds: float = 0.0
     checkpoint_corrupt_rate: float = 0.0  # per-file: checkpoint bytes torn
+    worker_crash_rate: float = 0.0     # per (worker, batch): process dies mid-batch
+    worker_crash_batches: Tuple[Tuple[int, int], ...] = ()  # explicit (worker, batch_id) kills
 
     def __post_init__(self):
-        for name in ("forward_error_rate", "slow_rate", "checkpoint_corrupt_rate"):
+        for name in (
+            "forward_error_rate",
+            "slow_rate",
+            "checkpoint_corrupt_rate",
+            "worker_crash_rate",
+        ):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {v}")
         if self.slow_seconds < 0:
             raise ValueError("slow_seconds must be non-negative")
+        object.__setattr__(
+            self,
+            "worker_crash_batches",
+            tuple(
+                (int(worker), int(batch))
+                for worker, batch in self.worker_crash_batches
+            ),
+        )
 
     @property
     def active(self) -> bool:
@@ -172,6 +200,8 @@ class ServingFaults:
             self.forward_error_rate > 0.0
             or self.slow_rate > 0.0
             or self.checkpoint_corrupt_rate > 0.0
+            or self.worker_crash_rate > 0.0
+            or bool(self.worker_crash_batches)
         )
 
 
@@ -214,11 +244,16 @@ class FaultPlan:
         sweep = dict(payload.get("sweep") or {})
         sweep["crash_shards"] = tuple(sweep.get("crash_shards") or ())
         sweep["broken_shards"] = tuple(sweep.get("broken_shards") or ())
+        serving = dict(payload.get("serving") or {})
+        serving["worker_crash_batches"] = tuple(
+            tuple(int(x) for x in item)
+            for item in serving.get("worker_crash_batches") or ()
+        )
         return cls(
             seed=int(payload.get("seed", 0)),
             data=DataFaults(**(payload.get("data") or {})),
             sweep=SweepFaults(**sweep),
-            serving=ServingFaults(**(payload.get("serving") or {})),
+            serving=ServingFaults(**serving),
         )
 
     def save(self, path: PathLike) -> Path:
@@ -300,6 +335,24 @@ class FaultInjector:
             self.sleep(serving.slow_seconds)
             return True
         return False
+
+    def worker_crashes(self, worker: int, batch_id: int) -> bool:
+        """Whether this dispatched batch kills its worker process.
+
+        Explicit ``worker_crash_batches`` entries fire exactly on their
+        ``(worker, batch_id)`` pair; because the supervisor assigns a
+        fresh ``batch_id`` to the replayed batch after failover, a
+        one-shot entry can never re-fire on the replay.  The rate-based
+        draw uses the same key, so it is equally replayable.
+        """
+        serving = self.plan.serving
+        if (int(worker), int(batch_id)) in serving.worker_crash_batches:
+            self.record.append(("serving.worker_crash", f"{worker}:{batch_id}"))
+            return True
+        return self.fires(
+            "serving.worker_crash", f"{worker}:{batch_id}",
+            serving.worker_crash_rate,
+        )
 
     def corrupt_checkpoint(self, path: PathLike) -> List[str]:
         """Tear checkpoint files in ``path`` per the plan.

@@ -16,6 +16,14 @@ failures), the micro-batcher takes admission/queue-deadline bounds
 and corrupt checkpoints load as :class:`CheckpointCorrupt` naming the
 damaged file.  All off by default — the unhardened paths are
 bit-identical.
+
+Scale: :class:`ServingSupervisor` runs N worker processes (one
+:class:`PortfolioService` shard each, sessions routed by market panel)
+over a write-through :class:`SessionStateStore` — crash failover with
+at-most-one-round replay, lazy session rehydration with LRU residency,
+heartbeat health checks, graceful drain (:class:`Draining` → HTTP 503),
+and priority load shedding (:class:`LoadShed` → HTTP 429).  With one
+worker and no fault plan it is bit-identical to the in-process service.
 """
 
 from .service import (
@@ -32,12 +40,22 @@ from .service import (
     ServingResilience,
     SessionInfo,
 )
+from .store import SessionStateStore
+from .supervisor import (
+    Draining,
+    LoadShed,
+    ServingSupervisor,
+    SupervisorStats,
+    WorkerHealth,
+)
 
 __all__ = [
     "BatcherStats",
     "CheckpointCorrupt",
     "DeadlineExceeded",
+    "Draining",
     "InvalidStrategyOutput",
+    "LoadShed",
     "MicroBatcher",
     "PortfolioService",
     "QueueFull",
@@ -46,4 +64,8 @@ __all__ = [
     "ServiceStats",
     "ServingResilience",
     "SessionInfo",
+    "SessionStateStore",
+    "ServingSupervisor",
+    "SupervisorStats",
+    "WorkerHealth",
 ]

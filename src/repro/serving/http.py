@@ -10,17 +10,27 @@ Routes
 ------
 ``GET  /healthz``            liveness + stats
 ``GET  /health``             liveness + stats + backpressure/degradation detail
+                             (per-worker status when serving a supervisor)
+``GET  /stats``              service/supervisor counters (failovers, shedding)
 ``GET  /strategies``         names servable through the registry
 ``GET  /sessions``           live session descriptions
 ``POST /sessions``           ``{"session_id", "strategy", "params"?, "market"}``
-``POST /rebalance``          ``{"session_id", "t"?}`` → one decision
+``POST /rebalance``          ``{"session_id", "t"?, "priority"?}`` → one decision
 ``POST /rebalance/batch``    ``{"requests": [...]}`` → decisions in order
+
+The same handler serves an in-process :class:`~repro.serving.PortfolioService`
+or a multi-worker :class:`~repro.serving.ServingSupervisor` — the two
+are duck-compatible, and ``/health``/``/stats`` simply surface more
+(per-worker liveness, restart and failover counters) when a supervisor
+is behind them.
 
 Errors return ``{"error": "..."}`` with a 4xx status; backpressure maps
 to its own codes — a full admission queue
-(:class:`~repro.serving.QueueFull`) is a 429 and a queue-deadline
-expiry (:class:`~repro.serving.DeadlineExceeded`) a 504.  Start one
-with :func:`serve` (see ``examples/serving_demo.py``).
+(:class:`~repro.serving.QueueFull`) or a priority-shed request
+(:class:`~repro.serving.LoadShed`) is a 429, a queue-deadline expiry
+(:class:`~repro.serving.DeadlineExceeded`) a 504, and a draining
+supervisor (:class:`~repro.serving.Draining`) a 503.  Start one with
+:func:`serve` (see ``examples/serving_demo.py``).
 """
 
 from __future__ import annotations
@@ -38,12 +48,14 @@ from .service import (
     RebalanceRequest,
     decode_params,
 )
+from .supervisor import Draining, LoadShed
 
 __all__ = ["ServiceHTTPServer", "ServingHandler", "serve"]
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`PortfolioService`."""
+    """HTTP server bound to one :class:`PortfolioService` (or
+    :class:`~repro.serving.ServingSupervisor`)."""
 
     daemon_threads = True
 
@@ -127,23 +139,52 @@ class ServingHandler(BaseHTTPRequestHandler):
         elif self.path == "/health":
             # The resilience-aware sibling of /healthz: same liveness
             # signal plus the counters an operator watches under load —
-            # degraded serving and admission-queue backpressure.
+            # degraded serving and admission-queue backpressure.  A
+            # supervisor additionally reports per-worker liveness and
+            # whether a drain is underway.
             batcher = self.server.batcher
-            self._write_json(
-                200,
-                {
-                    "status": "ok",
-                    "sessions": len(service.session_ids()),
-                    "stats": service.stats.to_json_dict(),
-                    "degraded_responses": service.stats.degraded_responses,
-                    "breaker_trips": service.stats.breaker_trips,
-                    "batcher": (
-                        batcher.stats.to_json_dict()
-                        if batcher is not None
-                        else None
-                    ),
-                },
-            )
+            payload: Dict[str, Any] = {
+                "status": "ok",
+                "sessions": len(service.session_ids()),
+                "stats": service.stats.to_json_dict(),
+                "batcher": (
+                    batcher.stats.to_json_dict()
+                    if batcher is not None
+                    else None
+                ),
+            }
+            stats = service.stats
+            if hasattr(stats, "degraded_responses"):
+                payload["degraded_responses"] = stats.degraded_responses
+                payload["breaker_trips"] = stats.breaker_trips
+            if hasattr(service, "worker_health"):
+                workers = [h.to_json_dict() for h in service.worker_health()]
+                payload["workers"] = workers
+                payload["worker_restarts"] = stats.worker_restarts
+                payload["failovers"] = stats.failovers
+                if getattr(service, "_draining", False):
+                    payload["status"] = "draining"
+                elif not all(w["alive"] for w in workers):
+                    # A dead worker between heartbeats: still serving
+                    # (dispatch heals on touch), but say so.
+                    payload["status"] = "degraded"
+            self._write_json(200, payload)
+        elif self.path == "/stats":
+            if hasattr(service, "stats_dict"):
+                self._write_json(200, service.stats_dict())
+            else:
+                batcher = self.server.batcher
+                self._write_json(
+                    200,
+                    {
+                        "service": service.stats.to_json_dict(),
+                        "batcher": (
+                            batcher.stats.to_json_dict()
+                            if batcher is not None
+                            else None
+                        ),
+                    },
+                )
         elif self.path == "/strategies":
             self._write_json(200, {"strategies": list(service.registry.names())})
         elif self.path == "/sessions":
@@ -174,6 +215,15 @@ class ServingHandler(BaseHTTPRequestHandler):
                 self._rebalance_batch(payload)
             else:
                 self._error(404, f"unknown path {self.path!r}")
+        except Draining as exc:
+            # The supervisor is shutting down cleanly; clients should
+            # fail over to another instance.
+            self._error(503, str(exc))
+        except LoadShed as exc:
+            # Priority shedding at the supervisor front.  Same 429
+            # family as QueueFull, with a marker so clients can tell
+            # "queue full, back off" from "outranked, raise priority".
+            self._write_json(429, {"error": str(exc), "shed": True})
         except QueueFull as exc:
             # Backpressure, not failure: the admission queue is at its
             # bound — clients should back off and retry.
@@ -219,10 +269,11 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _parse_request(payload: Dict[str, Any]) -> RebalanceRequest:
-        unknown = set(payload) - {"session_id", "t"}
+        unknown = set(payload) - {"session_id", "t", "priority"}
         if unknown:
             raise ValueError(
-                f"unknown fields {sorted(unknown)}; expected ['session_id', 't']"
+                f"unknown fields {sorted(unknown)}; expected "
+                "['session_id', 't', 'priority']"
             )
         if "session_id" not in payload:
             raise ValueError("'session_id' is required")
@@ -230,6 +281,7 @@ class ServingHandler(BaseHTTPRequestHandler):
         return RebalanceRequest(
             session_id=str(payload["session_id"]),
             t=None if t is None else int(t),
+            priority=int(payload.get("priority") or 0),
         )
 
     def _rebalance(self, payload: Dict[str, Any]) -> None:
@@ -264,6 +316,8 @@ def serve(
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever()`` on it.
 
+    ``service`` may be an in-process :class:`PortfolioService` or a
+    :class:`~repro.serving.ServingSupervisor` — the handler serves both.
     ``port=0`` picks a free port (``server.server_address`` has it).
     ``max_queue``/``request_timeout`` bound the micro-batcher's
     admission queue (429) and queue wait (504); ``None`` leaves both

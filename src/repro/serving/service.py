@@ -205,10 +205,18 @@ class RebalanceRequest:
     cursor moves to ``t + 1`` — use it to start a stream at a chosen
     period or to skip ahead, not to replay history on a live session
     (the original weight chain is not reconstructed).
+
+    ``priority`` matters only at an overloaded supervisor front: when
+    the in-flight budget is exhausted, lower-priority requests are shed
+    with a structured 429 while strictly higher-priority ones are still
+    admitted.  The in-process service ignores it (decisions never
+    depend on priority), which keeps supervisor and plain responses
+    bit-identical.
     """
 
     session_id: str
     t: Optional[int] = None
+    priority: int = 0
 
 
 @dataclass
@@ -1164,13 +1172,29 @@ class PortfolioService:
         return weights, risk_info
 
     # -- checkpointing -------------------------------------------------
-    def save_checkpoint(self, path: PathLike) -> Path:
+    def save_checkpoint(
+        self,
+        path: PathLike,
+        session_ids: Optional[Sequence[str]] = None,
+        shard: Optional[str] = None,
+    ) -> Path:
         """Persist markets, sessions, and strategy weights to ``path``.
 
         ``path`` becomes a directory holding ``manifest.json`` plus one
         ``.npz`` per market panel and per learned-strategy state dict.
         Strategy params must be JSON-encodable (the repo's config
         dataclasses are handled via type tags).
+
+        ``session_ids`` restricts the checkpoint to a subset of
+        sessions; the checkpoint stays self-contained (only the market
+        panels and agents that subset references are written).  With
+        the default ``None`` every session *and* every registered
+        market — including sessionless ones — is persisted, preserving
+        the full-checkpoint behaviour.  ``shard`` is an optional label
+        recorded in the manifest so a multi-worker deployment's
+        per-shard checkpoints say which worker wrote them;
+        :meth:`load_checkpoint` accepts shard checkpoints like any
+        other (the label is informational).
 
         Every file is written atomically (temp file + ``os.replace``)
         and the manifest lands last, so a crash mid-save leaves either
@@ -1181,8 +1205,14 @@ class PortfolioService:
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         with self._lock:
+            if session_ids is None:
+                sessions = list(self._sessions.values())
+                market_names = sorted(self._markets)
+            else:
+                sessions = [self._session(sid) for sid in session_ids]
+                market_names = sorted({s.market for s in sessions})
             market_files: Dict[str, str] = {}
-            for i, name in enumerate(sorted(self._markets)):
+            for i, name in enumerate(market_names):
                 filename = f"market_{i}.npz"
                 save_state_dict(path / filename, _market_to_state(self._markets[name]))
                 market_files[name] = filename
@@ -1190,7 +1220,7 @@ class PortfolioService:
             agent_entries: Dict[str, Dict[str, Any]] = {}
             agent_keys: Dict[str, str] = {}  # agent_key -> manifest key
             sessions_payload = []
-            for session in self._sessions.values():
+            for session in sessions:
                 if session.agent_key not in agent_keys:
                     manifest_key = f"agent_{len(agent_keys)}"
                     agent_keys[session.agent_key] = manifest_key
@@ -1243,18 +1273,19 @@ class PortfolioService:
                         ),
                     }
                 sessions_payload.append(session_payload)
-            save_json(
-                path / "manifest.json",
-                {
-                    # Version 2 adds the optional per-session "risk"
-                    # entry; everything else is the version-1 schema.
-                    "version": 2,
-                    "commission": self.commission,
-                    "markets": market_files,
-                    "agents": agent_entries,
-                    "sessions": sessions_payload,
-                },
-            )
+            manifest: Dict[str, Any] = {
+                # Version 2 adds the optional per-session "risk" entry
+                # (and, additively, the optional "shard" label);
+                # everything else is the version-1 schema.
+                "version": 2,
+                "commission": self.commission,
+                "markets": market_files,
+                "agents": agent_entries,
+                "sessions": sessions_payload,
+            }
+            if shard is not None:
+                manifest["shard"] = str(shard)
+            save_json(path / "manifest.json", manifest)
         if self._injector is not None:
             # Chaos seam: tear checkpoint files per the plan *after* the
             # clean save, emulating post-write disk corruption that
@@ -1268,14 +1299,16 @@ class PortfolioService:
         path: PathLike,
         registry: Optional[StrategyRegistry] = None,
         risk=None,
+        faults=None,
     ) -> "PortfolioService":
         """Rebuild a service whose next decisions match the saved one's.
 
         Accepts version-1 (pre-risk) and version-2 checkpoints.  Like
         the execution engine, ``risk`` is a runtime setting passed at
-        load; persisted guardrail state (version 2) is restored either
-        way, and version-1 sessions simply arm fresh on their next
-        decision.
+        load (and so is ``faults``, a chaos plan armed on the restored
+        service); persisted guardrail state (version 2) is restored
+        either way, and version-1 sessions simply arm fresh on their
+        next decision.
 
         A truncated or tampered checkpoint file raises
         :class:`CheckpointCorrupt` naming the offending file (a missing
@@ -1287,7 +1320,10 @@ class PortfolioService:
         if manifest.get("version") not in (1, 2):
             raise ValueError(f"unsupported checkpoint version {manifest.get('version')!r}")
         service = cls(
-            registry=registry, commission=manifest["commission"], risk=risk
+            registry=registry,
+            commission=manifest["commission"],
+            risk=risk,
+            faults=faults,
         )
 
         markets: Dict[str, MarketData] = {}
@@ -1363,6 +1399,150 @@ class PortfolioService:
                     agent._start_index = session.start
             service._sessions[session.session_id] = session
         return service
+
+    # -- session export/import -----------------------------------------
+    def export_session(self, session_id: str) -> Dict[str, Any]:
+        """Portable snapshot of one session — the per-session unit of the
+        checkpoint schema (version 2), detached from the full manifest.
+
+        The payload carries the session's spec (params tag-encoded, so
+        the dict round-trips JSON), the *name* of its market panel (not
+        the panel itself — panels are shared and persisted separately),
+        its cursor/weights/guardrail state, and — for learned
+        strategies — the network state dict as numpy arrays (the one
+        non-JSON field; :class:`~repro.serving.SessionStateStore` spills
+        it to an ``.npz`` sidecar).  :meth:`import_session` on any
+        service with the same market registered rebuilds a session whose
+        next decisions are bit-identical — the failover contract the
+        multi-worker supervisor rehydrates through.
+        """
+        with self._lock:
+            session = self._session(session_id)
+            state: Dict[str, Any] = {
+                "next_t": session.next_t,
+                "start": session.start,
+                "decisions": session.decisions,
+                "w_prev": [float(w) for w in session.w_prev],
+                "observation": _encode_value(session.observation),
+                # Denormalised so a store can describe evicted sessions
+                # without loading their (large) market panel.
+                "n_assets": session.data.n_assets,
+                "last_t": session.data.n_periods - 2,
+            }
+            if session.risk_w_drifted is not None:
+                state["risk"] = {
+                    "value": float(session.risk_value),
+                    "w_drifted": [float(w) for w in session.risk_w_drifted],
+                    "lockout": (
+                        session.lockout.to_json_dict()
+                        if session.lockout is not None
+                        else None
+                    ),
+                }
+            weights = None
+            network = getattr(session.agent, "network", None)
+            if network is not None and hasattr(network, "state_dict"):
+                weights = network.state_dict()
+            return {
+                "version": 2,
+                "session_id": session.session_id,
+                "spec": {
+                    "strategy": session.spec["strategy"],
+                    "params": _encode_value(session.spec["params"]),
+                },
+                "market": session.market,
+                "shared": session.shared,
+                "agent_key": session.agent_key if session.shared else None,
+                "state": state,
+                "weights": weights,
+            }
+
+    def import_session(
+        self, payload: Mapping[str, Any], data: Optional[MarketData] = None
+    ) -> SessionInfo:
+        """Recreate a session from an :meth:`export_session` payload.
+
+        The payload's market must already be registered under the same
+        name (or be supplied via ``data=``, which registers it).  Agent
+        resolution mirrors :meth:`load_checkpoint`: a shared agent
+        republishes under the key it was shared by — so two sessions
+        imported with the same spec land on one instance and keep
+        micro-batching into single forwards — while stateful agents are
+        rebuilt private, re-anchored at the session's first served
+        index (their state is spec + anchor, the same contract
+        checkpoints rely on).
+        """
+        if payload.get("version") not in (1, 2):
+            raise ValueError(
+                f"unsupported session payload version {payload.get('version')!r}"
+            )
+        spec = {
+            "strategy": payload["spec"]["strategy"],
+            "params": _decode_value(payload["spec"]["params"]),
+        }
+        state = payload["state"]
+        with self._lock:
+            session_id = payload["session_id"]
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already exists")
+            market_name = payload["market"]
+            if data is not None:
+                self.register_market(market_name, data)
+            if market_name not in self._markets:
+                raise KeyError(
+                    f"unknown market {market_name!r}; register it before "
+                    "importing sessions that reference it"
+                )
+            panel = self._markets[market_name]
+            shared = bool(payload["shared"])
+            shared_key = payload.get("agent_key") or _canonical_key(
+                spec["strategy"], spec["params"]
+            )
+            agent = (
+                self._shared_agents.get(shared_key)
+                if shared and shared_key is not None
+                else None
+            )
+            if agent is None:
+                agent = self.registry.create(spec["strategy"], **spec["params"])
+                if payload.get("weights") is not None:
+                    agent.network.load_state_dict(payload["weights"])
+                if shared and shared_key is not None:
+                    self._shared_agents[shared_key] = agent
+            if not shared:
+                self._private_seq += 1
+            session = _Session(
+                session_id=session_id,
+                spec=spec,
+                agent=agent,
+                agent_key=(
+                    shared_key if shared else f"!private:{self._private_seq}"
+                ),
+                shared=shared,
+                market=market_name,
+                data=panel,
+                observation=_decode_value(state["observation"]),
+                next_t=int(state["next_t"]),
+                start=int(state["start"]),
+                w_prev=np.asarray(state["w_prev"], dtype=np.float64),
+                decisions=int(state["decisions"]),
+            )
+            risk_state = state.get("risk")
+            if risk_state is not None:
+                session.risk_value = float(risk_state["value"])
+                session.risk_w_drifted = np.asarray(
+                    risk_state["w_drifted"], dtype=np.float64
+                )
+                if risk_state.get("lockout") is not None:
+                    session.lockout = LockoutState.from_json_dict(
+                        risk_state["lockout"]
+                    )
+            if not shared:
+                agent.begin_backtest(panel)
+                if session.decisions > 0 and hasattr(agent, "_start_index"):
+                    agent._start_index = session.start
+            self._sessions[session_id] = session
+            return self._info(session)
 
 
 # ----------------------------------------------------------------------

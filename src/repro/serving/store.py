@@ -1,0 +1,204 @@
+"""Durable per-session state for the multi-worker serving tier.
+
+``SessionStateStore`` is the persistence half of the supervised serving
+tier (:mod:`repro.serving.supervisor`): every committed rebalance round
+writes the touched sessions' :meth:`~repro.serving.PortfolioService.export_session`
+payloads through to disk, so a worker process can die at any moment and
+lose at most the round that was in flight — the supervisor replays that
+round against a fresh worker, which *rehydrates* each session lazily
+from its last stored state on first touch.
+
+Layout (all writes atomic, via :mod:`repro.utils.serialization`)::
+
+    root/
+      markets/<quoted-name>.npz          # panels, write-once (immutable)
+      sessions/<quoted-id>/state.json    # per-session checkpoint payload
+      sessions/<quoted-id>/weights.npz   # learned-agent state dict, if any
+
+``state.json`` is the commit point for a session write: it lands last
+(after the weights sidecar) via temp-file + ``os.replace``, so a torn
+write leaves the previous state, never half of the new one.  Weights
+are written once per session — serving never mutates network weights —
+which keeps the per-round write to a single small JSON file.
+
+The store also tracks *residency* (which sessions a worker holds in
+memory) as an LRU: :meth:`touch` bumps a session and returns the ids
+that overflow ``max_resident``, which the worker then evicts from its
+service (safe, because write-through means their state is already on
+disk) and rehydrates lazily if touched again.  Corrupt files surface as
+:class:`~repro.serving.CheckpointCorrupt` naming the file, the same
+contract full checkpoints honour.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import quote, unquote
+
+from ..data.market import MarketData, market_from_state, market_to_state
+from ..utils.serialization import (
+    PathLike,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+)
+from .service import _read_checkpoint_file
+
+__all__ = ["SessionStateStore"]
+
+
+def _safe(name: str) -> str:
+    """Filesystem-safe, reversible encoding of a user-chosen name."""
+    return quote(name, safe="")
+
+
+class SessionStateStore:
+    """Write-through session persistence with LRU residency tracking.
+
+    Thread-safe: one instance is shared by a worker's serve loop and
+    its drain path, and the supervisor opens its own instance over the
+    same root (the on-disk layout, not the object, is the interface —
+    every read re-opens files, every write is atomic).
+    """
+
+    def __init__(self, root: PathLike, max_resident: Optional[int] = None):
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be >= 1 (or None for unbounded)")
+        self.root = Path(root)
+        self.max_resident = max_resident
+        (self.root / "markets").mkdir(parents=True, exist_ok=True)
+        (self.root / "sessions").mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._resident: "OrderedDict[str, None]" = OrderedDict()
+
+    # -- markets -------------------------------------------------------
+    def _market_path(self, name: str) -> Path:
+        return self.root / "markets" / f"{_safe(name)}.npz"
+
+    def has_market(self, name: str) -> bool:
+        return self._market_path(name).exists()
+
+    def save_market(self, name: str, data: MarketData) -> None:
+        """Persist a panel once; market names are immutable (the same
+        contract as ``PortfolioService.register_market``), so an
+        existing file is left untouched."""
+        path = self._market_path(name)
+        if path.exists():
+            return
+        save_state_dict(path, market_to_state(data))
+
+    def load_market(self, name: str) -> MarketData:
+        path = self._market_path(name)
+        if not path.exists():
+            raise KeyError(f"market {name!r} is not in the store")
+        return market_from_state(
+            _read_checkpoint_file(path, load_state_dict, referenced=True)
+        )
+
+    def market_names(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                unquote(p.name[: -len(".npz")])
+                for p in (self.root / "markets").glob("*.npz")
+            )
+        )
+
+    # -- sessions ------------------------------------------------------
+    def _session_dir(self, session_id: str) -> Path:
+        return self.root / "sessions" / _safe(session_id)
+
+    def has_session(self, session_id: str) -> bool:
+        return (self._session_dir(session_id) / "state.json").exists()
+
+    def session_ids(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                unquote(p.parent.name)
+                for p in (self.root / "sessions").glob("*/state.json")
+            )
+        )
+
+    def save_session(self, payload: Dict[str, Any]) -> None:
+        """Write-through one ``export_session`` payload.
+
+        The (large, immutable) network weights land in a sidecar the
+        first time only; the (small, per-round) JSON record lands last
+        as the commit point.
+        """
+        directory = self._session_dir(payload["session_id"])
+        directory.mkdir(parents=True, exist_ok=True)
+        record = {k: v for k, v in payload.items() if k != "weights"}
+        record["weights"] = None
+        weights = payload.get("weights")
+        if weights is not None:
+            record["weights"] = "weights.npz"
+            if not (directory / "weights.npz").exists():
+                save_state_dict(directory / "weights.npz", weights)
+        save_json(directory / "state.json", record)
+
+    def load_session_record(self, session_id: str) -> Dict[str, Any]:
+        """The JSON half of a stored session (weights left as the
+        sidecar's filename) — enough to route or describe it."""
+        path = self._session_dir(session_id) / "state.json"
+        if not path.exists():
+            raise KeyError(f"session {session_id!r} is not in the store")
+        return _read_checkpoint_file(path, load_json, referenced=True)
+
+    def load_session(self, session_id: str) -> Dict[str, Any]:
+        """The full ``import_session`` payload, weights rehydrated."""
+        record = self.load_session_record(session_id)
+        if record.get("weights") is not None:
+            record["weights"] = _read_checkpoint_file(
+                self._session_dir(session_id) / record["weights"],
+                load_state_dict,
+                referenced=True,
+            )
+        return record
+
+    def delete_session(self, session_id: str) -> None:
+        directory = self._session_dir(session_id)
+        # state.json first: once the commit mark is gone the session no
+        # longer exists, whatever survives of the sidecar.
+        for name in ("state.json", "weights.npz"):
+            path = directory / name
+            if path.exists():
+                path.unlink()
+        if directory.exists():
+            directory.rmdir()
+        with self._lock:
+            self._resident.pop(session_id, None)
+
+    # -- LRU residency -------------------------------------------------
+    def touch(self, session_id: str) -> None:
+        """Mark a session resident and most-recently-used."""
+        with self._lock:
+            self._resident[session_id] = None
+            self._resident.move_to_end(session_id)
+
+    def overflow(self) -> List[str]:
+        """Pop and return the least-recently-used ids beyond
+        ``max_resident`` (empty when unbounded).
+
+        Deliberately separate from :meth:`touch`: a worker touches every
+        session a batch serves, then collects the overflow *after* the
+        batch commits and persists — so a batch wider than the residency
+        budget can never evict a session it is still serving.
+        """
+        with self._lock:
+            evicted: List[str] = []
+            if self.max_resident is not None:
+                while len(self._resident) > self.max_resident:
+                    evicted.append(self._resident.popitem(last=False)[0])
+            return evicted
+
+    def drop_resident(self, session_id: str) -> None:
+        with self._lock:
+            self._resident.pop(session_id, None)
+
+    def resident_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._resident)

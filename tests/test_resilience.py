@@ -115,6 +115,50 @@ class TestFaultPlan:
         path = plan.save(tmp_path / "plan.json")
         assert FaultPlan.load(path) == plan
 
+    def test_worker_crash_seam_round_trip(self, tmp_path):
+        # JSON turns the (worker, batch_id) tuples into lists;
+        # from_json_dict must coerce them back so equality (and the
+        # explicit-batch membership test) holds.
+        plan = FaultPlan(
+            seed=5,
+            serving=ServingFaults(
+                worker_crash_rate=0.25,
+                worker_crash_batches=((0, 2), (1, 3)),
+            ),
+        )
+        back = FaultPlan.from_json_dict(json.loads(json.dumps(plan.to_json_dict())))
+        assert back == plan
+        assert back.serving.worker_crash_batches == ((0, 2), (1, 3))
+        assert FaultPlan.load(plan.save(tmp_path / "plan.json")) == plan
+
+    def test_worker_crashes_explicit_batches_fire_exactly_once(self):
+        plan = FaultPlan(
+            seed=0,
+            serving=ServingFaults(worker_crash_batches=((1, 4),)),
+        )
+        inj = FaultInjector(plan)
+        assert not inj.worker_crashes(0, 4)  # other worker untouched
+        assert not inj.worker_crashes(1, 3)
+        assert inj.worker_crashes(1, 4)
+        assert ("serving.worker_crash", "1:4") in inj.record
+        # The supervisor's batch ids are monotonic across restarts, so
+        # the replayed batch gets a fresh id and the entry cannot
+        # re-fire: the crash is one-shot by construction.
+        assert not inj.worker_crashes(1, 5)
+
+    def test_worker_crash_rate_is_deterministic(self):
+        plan = FaultPlan(seed=11, serving=ServingFaults(worker_crash_rate=0.5))
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        keys = [(w, batch) for w in range(2) for batch in range(10)]
+        decisions = [a.worker_crashes(w, batch) for w, batch in keys]
+        assert decisions == [b.worker_crashes(w, batch) for w, batch in keys]
+        assert any(decisions) and not all(decisions)
+        off = FaultInjector(
+            FaultPlan(seed=11, serving=ServingFaults(slow_rate=0.1))
+        )
+        assert not any(off.worker_crashes(w, batch) for w, batch in keys)
+
     def test_empty_plan_normalizes_to_none(self):
         assert injector_from(None) is None
         assert injector_from(FaultPlan(seed=9)) is None

@@ -772,3 +772,68 @@ class TestMicroBatcherSlotBookkeeping:
         assert batch[0][1].response.session_id == "good"
         assert batch[0][1].error is None
         assert isinstance(batch[1][1].error, KeyError)
+
+
+class TestExportImport:
+    def test_shared_session_round_trip_continues_identically(
+        self, config, market, sdp_params
+    ):
+        # export_session/import_session is the per-session unit the
+        # multi-worker supervisor rehydrates through: an imported
+        # session's next decisions must be bit-identical.
+        service = make_service(config, market)
+        service.create_session("s", "sdp", params=sdp_params, market="m")
+        for _ in range(3):
+            service.rebalance("s")
+        payload = service.export_session("s")
+        assert payload["shared"] and payload["weights"] is not None
+
+        other = PortfolioService(commission=config.commission)
+        other.register_market("m", market)
+        info = other.import_session(payload)
+        assert info.decisions == 3
+        for _ in range(3):
+            x = service.rebalance("s")
+            y = other.rebalance("s")
+            assert x.t == y.t
+            np.testing.assert_array_equal(x.weights, y.weights)
+
+    def test_imported_same_spec_sessions_share_one_agent(
+        self, config, market, sdp_params
+    ):
+        service = make_service(config, market)
+        service.create_session("a", "sdp", params=sdp_params, market="m")
+        service.create_session("b", "sdp", params=sdp_params, market="m")
+        other = PortfolioService(commission=config.commission)
+        other.register_market("m", market)
+        other.import_session(service.export_session("a"))
+        other.import_session(service.export_session("b"))
+        assert other._sessions["a"].agent is other._sessions["b"].agent
+
+    def test_stateful_session_round_trip(self, config, market):
+        service = make_service(config, market)
+        service.create_session("s", "ons", market="m")
+        for _ in range(2):
+            service.rebalance("s")
+        payload = service.export_session("s")
+        assert not payload["shared"] and payload["agent_key"] is None
+
+        other = PortfolioService(commission=config.commission)
+        other.register_market("m", market)
+        other.import_session(payload)
+        for _ in range(3):
+            x = service.rebalance("s")
+            y = other.rebalance("s")
+            assert x.t == y.t
+            np.testing.assert_array_equal(x.weights, y.weights)
+
+    def test_import_requires_registered_market(self, config, market):
+        service = make_service(config, market)
+        service.create_session("s", "ucrp", market="m")
+        payload = service.export_session("s")
+        empty = PortfolioService()
+        with pytest.raises(KeyError, match="market"):
+            empty.import_session(payload)
+        # data= registers the panel inline and succeeds.
+        empty.import_session(payload, data=market)
+        assert empty.session_ids() == ("s",)

@@ -1,0 +1,429 @@
+"""Tests for the supervised multi-worker serving tier.
+
+Covers the :class:`~repro.serving.ServingSupervisor` contracts: market-
+hash routing, single-worker bit-parity with the in-process service,
+crash-mid-batch failover with replay, heartbeat healing of idle deaths,
+graceful drain (zero committed responses lost, store continuity across
+a restart), LRU eviction + lazy rehydration, priority load shedding,
+and the HTTP front's supervisor-aware routes.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_experiment_data, make_config, risk_regime_preset
+from repro.resilience import FaultPlan, ServingFaults
+from repro.serving import (
+    CheckpointCorrupt,
+    Draining,
+    LoadShed,
+    PortfolioService,
+    RebalanceRequest,
+    ServingSupervisor,
+    SessionStateStore,
+)
+from repro.utils.rng import stable_hash
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_config(1, profile="quick")
+
+
+@pytest.fixture(scope="module")
+def market(config):
+    return build_experiment_data(config).test
+
+
+@pytest.fixture(scope="module")
+def market2():
+    return build_experiment_data(make_config(2, profile="quick")).test
+
+
+def two_market_names():
+    """Two market names a 2-worker supervisor routes to distinct workers."""
+    names = {}
+    for i in range(64):
+        names.setdefault(stable_hash(f"m{i}") % 2, f"m{i}")
+        if len(names) == 2:
+            return names[0], names[1]
+    raise AssertionError("no hash split in 64 candidates")
+
+
+def make_supervisor(tmp_path, market, market2=None, **kwargs):
+    sup = ServingSupervisor(tmp_path / "state", **kwargs)
+    name0, name1 = two_market_names()
+    sup.register_market(name0, market)
+    if market2 is not None:
+        sup.register_market(name1, market2)
+    return sup, name0, name1
+
+
+def json_rounds(front, requests, rounds):
+    out = []
+    for _ in range(rounds):
+        out.append([r.to_json_dict() for r in front.rebalance_many(requests)])
+    return out
+
+
+class TestRoutingAndParity:
+    def test_routing_by_market_hash(self, tmp_path, market, market2):
+        sup, name0, name1 = make_supervisor(
+            tmp_path, market, market2, workers=2
+        )
+        with sup:
+            assert sup.worker_of_market(name0) != sup.worker_of_market(name1)
+            sup.create_session("a", "ucrp", market=name0)
+            sup.create_session("b", "ucrp", market=name1)
+            sup.create_session("c", "ons", market=name1)
+            assert sup.session_ids() == ("a", "b", "c")
+            infos = {i.session_id: i for i in sup.describe_sessions()}
+            assert infos["c"].strategy == "ons"
+            routed = {
+                h.index: h.routed_sessions for h in sup.worker_health()
+            }
+            assert routed[sup.worker_of_market(name0)] == 1
+            assert routed[sup.worker_of_market(name1)] == 2
+
+    def test_requires_registered_market(self, tmp_path, market):
+        sup, name0, _ = make_supervisor(tmp_path, market, workers=2)
+        with sup:
+            with pytest.raises(ValueError, match="require market="):
+                sup.create_session("a", "ucrp")
+            with pytest.raises(KeyError, match="unknown market"):
+                sup.create_session("a", "ucrp", market="nope")
+            with pytest.raises(ValueError, match="already exists"):
+                sup.create_session("a", "ucrp", market=name0)
+                sup.create_session("a", "ucrp", market=name0)
+
+    def test_single_worker_bit_identical_to_in_process(
+        self, tmp_path, market
+    ):
+        """The ISSUE's invariant: one worker, no fault plan == plain
+        in-process service, byte for byte — including the risk book."""
+        risk = risk_regime_preset("lockout")
+        sup, name0, _ = make_supervisor(
+            tmp_path, market, workers=1, risk=risk.build_engine()
+        )
+        requests = [RebalanceRequest("a"), RebalanceRequest("b")]
+        with sup:
+            sup.create_session("a", "ons", market=name0)
+            sup.create_session("b", "ucrp", market=name0)
+            supervised = json_rounds(sup, requests, rounds=4)
+
+        service = PortfolioService(risk=risk.build_engine())
+        service.register_market(name0, market)
+        service.create_session("a", "ons", market=name0)
+        service.create_session("b", "ucrp", market=name0)
+        assert supervised == json_rounds(service, requests, rounds=4)
+
+
+class TestFailover:
+    def test_crash_mid_batch_replays_bit_identically(
+        self, tmp_path, market, market2
+    ):
+        """A worker killed mid-batch (after commit, before persist) is
+        restarted; the replay rehydrates from the store and recomputes
+        the identical decisions — the fault-free run, byte for byte."""
+        requests = [RebalanceRequest(s) for s in ("a", "b", "c")]
+
+        def run(root, faults):
+            sup, name0, name1 = make_supervisor(
+                root, market, market2, workers=2, faults=faults
+            )
+            with sup:
+                sup.create_session("a", "ons", market=name0)
+                sup.create_session("b", "ons", market=name1)
+                sup.create_session("c", "ucrp", market=name1)
+                rounds = json_rounds(sup, requests, rounds=4)
+                return rounds, sup.stats, sup.stats_dict(), name1
+
+        healthy, _, _, name1 = run(tmp_path / "healthy", None)
+        victim = stable_hash(name1) % 2
+        plan = FaultPlan(
+            seed=0,
+            serving=ServingFaults(worker_crash_batches=((victim, 1),)),
+        )
+        chaos, stats, stats_dict, _ = run(tmp_path / "chaos", plan)
+
+        assert chaos == healthy
+        assert stats.worker_restarts == 1
+        assert stats.failovers == 1
+        report = stats_dict["failovers"][0]
+        assert report["worker"] == victim
+        flags = {
+            s["session_id"]: s["round_in_flight"]
+            for s in report["sessions"]
+        }
+        assert flags == {"b": True, "c": True}  # a lives on the other worker
+
+    def test_heartbeat_restarts_idle_death(self, tmp_path, market):
+        sup, name0, _ = make_supervisor(tmp_path, market, workers=2)
+        with sup:
+            sup.create_session("a", "ons", market=name0)
+            before = [r.to_json_dict() for r in sup.rebalance_many(
+                [RebalanceRequest("a")]
+            )]
+            victim = sup._workers[sup.worker_of_market(name0)]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            assert sup.check_workers() == [victim.index]
+            assert victim.alive
+            assert sup.stats.worker_restarts == 1
+            after = [r.to_json_dict() for r in sup.rebalance_many(
+                [RebalanceRequest("a")]
+            )]
+
+        service = PortfolioService()
+        service.register_market(name0, market)
+        service.create_session("a", "ons", market=name0)
+        assert before == [service.rebalance("a").to_json_dict()]
+        assert after == [service.rebalance("a").to_json_dict()]
+
+    def test_unknown_session_rejected_at_front(self, tmp_path, market):
+        sup, _, _ = make_supervisor(tmp_path, market, workers=2)
+        with sup:
+            with pytest.raises(KeyError, match="unknown session"):
+                sup.rebalance("ghost")
+
+
+class TestDrainAndResume:
+    def test_drain_under_load_loses_no_committed_response(
+        self, tmp_path, market, market2
+    ):
+        """Drain mid-traffic: every response committed before the drain
+        is the fault-free one, new work gets ``Draining``, and a fresh
+        supervisor over the same store continues bit-identically."""
+        sup, name0, name1 = make_supervisor(
+            tmp_path, market, market2, workers=2
+        )
+        requests = [RebalanceRequest(s) for s in ("a", "b")]
+        sup.create_session("a", "ons", market=name0)
+        sup.create_session("b", "ons", market=name1)
+
+        committed = []
+        drained_seen = threading.Event()
+
+        def pump():
+            while True:
+                try:
+                    committed.append(
+                        [r.to_json_dict() for r in sup.rebalance_many(requests)]
+                    )
+                except Draining:
+                    drained_seen.set()
+                    return
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+        while len(committed) < 2:
+            time.sleep(0.01)
+        report = sup.drain(timeout=30.0)
+        thread.join(timeout=30.0)
+        assert drained_seen.is_set()
+        assert report["sessions_checkpointed"] == 2
+        assert all(w["exit_code"] == 0 for w in report["workers"])
+        with pytest.raises(Draining):
+            sup.rebalance_many(requests)
+        with pytest.raises(Draining):
+            sup.create_session("c", "ucrp", market=name0)
+        assert sup.drain() is report or sup.drain() == report  # idempotent
+
+        # Reference: the uninterrupted in-process run.
+        service = PortfolioService()
+        service.register_market(name0, market)
+        service.register_market(name1, market2)
+        service.create_session("a", "ons", market=name0)
+        service.create_session("b", "ons", market=name1)
+        n = len(committed)
+        reference = json_rounds(service, requests, rounds=n + 3)
+        assert committed == reference[:n]
+
+        # Store continuity: a fresh supervisor resumes every session
+        # and serves the next rounds bit-identically.
+        resumed = ServingSupervisor(tmp_path / "state", workers=2)
+        with resumed:
+            assert resumed.session_ids() == ("a", "b")
+            assert json_rounds(resumed, requests, rounds=3) == reference[n:]
+
+
+class TestResidency:
+    def test_lru_eviction_rehydrates_bit_identically(
+        self, tmp_path, market
+    ):
+        """``max_resident=1`` forces an evict/rehydrate cycle on every
+        alternating request; decisions — including drifted risk state —
+        must match the always-resident in-process reference."""
+        risk = risk_regime_preset("lockout")
+        sup, name0, _ = make_supervisor(
+            tmp_path, market, workers=1, max_resident=1,
+            risk=risk.build_engine(),
+        )
+        with sup:
+            sup.create_session("a", "ons", market=name0)
+            sup.create_session("b", "ons", market=name0)
+            supervised = []
+            for _ in range(4):
+                supervised.append(sup.rebalance("a").to_json_dict())
+                supervised.append(sup.rebalance("b").to_json_dict())
+            detail = sup.stats_dict()["workers"][0]["detail"]
+            assert detail["resident_sessions"] == 1
+            assert detail["evicted"] >= 2
+            assert detail["rehydrated"] >= 2
+
+        service = PortfolioService(risk=risk.build_engine())
+        service.register_market(name0, market)
+        service.create_session("a", "ons", market=name0)
+        service.create_session("b", "ons", market=name0)
+        reference = []
+        for _ in range(4):
+            reference.append(service.rebalance("a").to_json_dict())
+            reference.append(service.rebalance("b").to_json_dict())
+        assert supervised == reference
+
+
+class TestLoadShedding:
+    def test_low_priority_shed_high_priority_admitted(
+        self, tmp_path, market
+    ):
+        """With the front saturated (one slow round in flight), a
+        same-priority request is shed with the structured 429 marker
+        while a higher-priority one is admitted and served."""
+        plan = FaultPlan(
+            seed=0,
+            serving=ServingFaults(slow_rate=1.0, slow_seconds=0.6),
+        )
+        sup, name0, _ = make_supervisor(
+            tmp_path, market, workers=1, max_pending=1, faults=plan
+        )
+        with sup:
+            sup.create_session("a", "ucrp", market=name0)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                slow = pool.submit(sup.rebalance, "a")
+                while sup.inflight == 0 and not slow.done():
+                    time.sleep(0.005)
+                with pytest.raises(LoadShed, match="at capacity"):
+                    sup.rebalance_many([RebalanceRequest("a", priority=0)])
+                assert sup.stats.shed_requests == 1
+                urgent = sup.rebalance_many(
+                    [RebalanceRequest("a", priority=5)]
+                )
+                assert len(urgent) == 1
+                assert slow.result(timeout=30.0).t < urgent[0].t
+
+    def test_idle_front_always_admits(self, tmp_path, market):
+        sup, name0, _ = make_supervisor(
+            tmp_path, market, workers=1, max_pending=1
+        )
+        with sup:
+            sup.create_session("a", "ucrp", market=name0)
+            sup.create_session("b", "ucrp", market=name0)
+            # An oversized batch on an idle front must not shed.
+            responses = sup.rebalance_many(
+                [RebalanceRequest("a"), RebalanceRequest("b")]
+            )
+            assert len(responses) == 2
+
+
+class TestSessionStateStore:
+    def test_market_names_are_write_once(self, tmp_path, market, market2):
+        store = SessionStateStore(tmp_path)
+        store.save_market("m", market)
+        store.save_market("m", market2)  # ignored: first write wins
+        assert store.market_names() == ("m",)
+        loaded = store.load_market("m")
+        assert np.array_equal(loaded.close, market.close)
+
+    def test_session_round_trip_and_corruption(self, tmp_path, market):
+        service = PortfolioService()
+        service.register_market("m", market)
+        service.create_session("s!/1", "ons", market="m")
+        service.rebalance("s!/1")
+        store = SessionStateStore(tmp_path)
+        store.save_session(service.export_session("s!/1"))
+        assert store.session_ids() == ("s!/1",)
+
+        other = PortfolioService()
+        other.register_market("m", market)
+        other.import_session(store.load_session("s!/1"))
+        assert (
+            other.rebalance("s!/1").to_json_dict()
+            == service.rebalance("s!/1").to_json_dict()
+        )
+
+        state_file = tmp_path / "sessions" / "s%21%2F1" / "state.json"
+        state_file.write_text("{ not json")
+        with pytest.raises(CheckpointCorrupt):
+            store.load_session("s!/1")
+
+    def test_lru_overflow_order(self, tmp_path):
+        store = SessionStateStore(tmp_path, max_resident=2)
+        for sid in ("a", "b", "c"):
+            store.touch(sid)
+        assert store.overflow() == ["a"]
+        assert store.resident_ids() == ("b", "c")
+        store.touch("b")  # refresh: c is now least recent
+        store.touch("d")
+        assert store.overflow() == ["c"]
+
+
+class TestHTTPFront:
+    def test_supervisor_routes_and_drain_503(
+        self, tmp_path, market
+    ):
+        from repro.serving.http import serve
+
+        sup, name0, _ = make_supervisor(tmp_path, market, workers=2)
+        server = serve(sup, port=0, micro_batch=False)
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        def get(path):
+            with urllib.request.urlopen(f"{base}{path}") as response:
+                return json.loads(response.read())
+
+        def post(path, payload):
+            request = urllib.request.Request(
+                f"{base}{path}",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                return json.loads(response.read())
+
+        try:
+            post(
+                "/sessions",
+                {"session_id": "a", "strategy": "ucrp", "market": name0},
+            )
+            decision = post("/rebalance", {"session_id": "a", "priority": 1})
+            assert "weights" in decision
+
+            health = get("/health")
+            assert health["status"] == "ok"
+            assert [w["alive"] for w in health["workers"]] == [True, True]
+            assert health["failovers"] == 0
+            stats = get("/stats")
+            assert stats["supervisor"]["requests_served"] == 1
+            assert len(stats["workers"]) == 2
+
+            sup.drain(timeout=30.0)
+            assert get("/health")["status"] == "draining"
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                post("/rebalance", {"session_id": "a"})
+            assert exc_info.value.code == 503
+            body = json.loads(exc_info.value.read())
+            assert "draining" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            sup.close()
