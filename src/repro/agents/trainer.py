@@ -184,12 +184,12 @@ class PolicyTrainer:
                 f"{self.config.batch_size}"
             )
         self.pvm = PortfolioVectorMemory(n, data.n_assets)
-        self.sampler = GeometricBatchSampler(
+        self.sampler = GeometricBatchSampler.for_seed(
             self.first_index,
             self.last_index,
             self.config.batch_size,
+            seed,
             bias=self.config.geometric_bias,
-            rng=make_rng(seed),
         )
         # Precompute price relatives (with cash) for the whole panel.
         rel = data.close[1:] / data.close[:-1]

@@ -71,6 +71,32 @@ class GeometricBatchSampler:
         cdf /= cdf[-1]
         self._cdf = cdf
 
+    @classmethod
+    def for_seed(
+        cls,
+        first_index: int,
+        last_index: int,
+        batch_size: int,
+        seed: int,
+        bias: float = DEFAULT_GEOMETRIC_BIAS,
+    ) -> "GeometricBatchSampler":
+        """A sampler whose index stream is a pure function of ``seed``.
+
+        This is the per-seed stream constructor the multi-seed trainer
+        and the serial :class:`~repro.agents.trainer.PolicyTrainer`
+        share: both build the stream as ``make_rng(seed)``, so a seed's
+        draw sequence is identical whether it trains alone or stacked
+        with other seeds — the shard spec's seed alone determines the
+        stream, with no dependence on which seeds ride along.
+        """
+        return cls(
+            first_index,
+            last_index,
+            batch_size,
+            bias=bias,
+            rng=make_rng(seed),
+        )
+
     def sample(self) -> np.ndarray:
         """One minibatch of consecutive decision indices."""
         start = self.first_index + int(

@@ -13,6 +13,16 @@ artifacts are already committed (checkpoint/resume), run the rest
 serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
 write the sweep manifest.
 
+Seed vectorization (PR 9): with ``vectorize_seeds`` on, trainable
+shards that differ only in the seed axis coalesce into
+:func:`run_shard_group` calls — one stacked
+:class:`~repro.agents.MultiSeedTrainer` run over all seeds at once —
+and then commit ordinary per-shard artifacts.  On the reference
+backend the grouped artifacts are bit-identical to serial ones, so
+manifests, resume, and every store consumer are unchanged; the only
+observable difference is wall-clock, which
+:meth:`SweepResult.timing_summary` reports.
+
 Fault tolerance (PR 7): each pending shard gets up to
 ``RetryPolicy.max_attempts`` tries with capped exponential backoff and
 deterministic jitter between them.  A shard that exhausts its attempts
@@ -52,7 +62,7 @@ from .artifacts import (
     execution_metrics_from_summary,
     risk_metrics_from_summary,
 )
-from .runner import build_experiment_data, make_trainer
+from .runner import build_experiment_data, make_multiseed_trainer, make_trainer
 from .spec import ExperimentSpec, ShardSpec
 
 # One failed attempt is usually a transient (preempted worker, flaky
@@ -121,6 +131,27 @@ def run_shard(
         history = _history_to_dict(make_trainer(agent, data.train, config).train())
         weights_state = agent.network.state_dict()
 
+    return _backtest_and_commit(
+        store, shard, config, data, agent, params, history, weights_state
+    )
+
+
+def _backtest_and_commit(
+    store: ArtifactStore,
+    shard: ShardSpec,
+    config,
+    data,
+    agent,
+    params: Dict[str, object],
+    history: Optional[Dict[str, object]],
+    weights_state,
+) -> Dict[str, object]:
+    """Back-test a (possibly trained) agent and commit its artifact.
+
+    The post-training half of :func:`run_shard`, shared with
+    :func:`run_shard_group` so a shard trained inside a stacked seed
+    group commits byte-for-byte the artifact its serial run would have.
+    """
     result = run_backtest(
         agent,
         data.test,
@@ -155,10 +186,86 @@ def run_shard(
     )
     store.save_shard(artifact)
     return {
-        "shard_id": shard_id,
+        "shard_id": shard.shard_id,
         "status": "ran",
         "metrics": metrics,
     }
+
+
+def run_shard_group(
+    shards: List[ShardSpec],
+    store_root: str,
+    backend=None,
+) -> List[Dict[str, object]]:
+    """Execute a same-config seed group through one stacked trainer.
+
+    ``shards`` must be cells of one grid row that differ only in
+    ``seed`` and name a trainable strategy — the grouping
+    :class:`SweepRunner` performs under ``vectorize_seeds``.  Training
+    runs once through :class:`~repro.agents.MultiSeedTrainer` with the
+    seed axis stacked; each shard is then back-tested and committed
+    individually through the exact code path of :func:`run_shard`, so
+    the per-shard artifact layout (and, on the default reference
+    backend, every byte of it) is unchanged — manifests, resume, and
+    ``load_agent`` cannot tell a grouped shard from a serial one.
+
+    Already-committed shards are skipped and only the remainder is
+    stacked, so a group interrupted mid-sweep resumes cleanly (with or
+    without vectorization).  Returns one summary per shard, in input
+    order.  Module-level and picklable for the same reason
+    :func:`run_shard` is.
+    """
+    shards = list(shards)
+    if not shards:
+        return []
+    if not is_trainable(shards[0].strategy):
+        raise ValueError(
+            f"run_shard_group needs a trainable strategy, got "
+            f"{shards[0].strategy!r}"
+        )
+    store = ArtifactStore(store_root)
+    summaries: Dict[str, Dict[str, object]] = {}
+    pending: List[ShardSpec] = []
+    for shard in shards:
+        if store.has_shard(shard.shard_id):
+            summaries[shard.shard_id] = {
+                "shard_id": shard.shard_id,
+                "status": "skipped",
+                "metrics": store.load_shard_metrics(shard.shard_id),
+            }
+        else:
+            pending.append(shard)
+
+    if pending:
+        configs = [shard.config() for shard in pending]
+        # Same grid row ⇒ same market seed/window: one panel serves the
+        # whole group.
+        data = build_experiment_data(configs[0])
+        agents = []
+        params_list = []
+        for shard, config in zip(pending, configs):
+            params = strategy_params_from_config(
+                shard.strategy, config, n_assets=len(data.assets)
+            )
+            params_list.append(params)
+            agents.append(DEFAULT_REGISTRY.create(shard.strategy, **params))
+        histories = make_multiseed_trainer(
+            agents, data.train, configs, backend=backend
+        ).train()
+        for shard, config, agent, params, history in zip(
+            pending, configs, agents, params_list, histories
+        ):
+            summaries[shard.shard_id] = _backtest_and_commit(
+                store,
+                shard,
+                config,
+                data,
+                agent,
+                params,
+                _history_to_dict(history),
+                agent.network.state_dict(),
+            )
+    return [summaries[shard.shard_id] for shard in shards]
 
 
 def _guarded_run_shard(
@@ -194,13 +301,50 @@ def _guarded_run_shard(
         }
 
 
+def _seed_groups(
+    shards: List[ShardSpec],
+) -> Tuple[List[List[ShardSpec]], List[ShardSpec]]:
+    """Partition shards into same-config seed groups and leftovers.
+
+    A group is ≥2 trainable shards agreeing on every grid axis except
+    ``seed`` — exactly the cells whose training differs only in the
+    per-seed RNG streams, which is what :func:`run_shard_group` stacks.
+    Everything else (baselines, singleton seeds) stays per-shard.
+    Groups come back in first-member input order; leftovers keep their
+    input order.
+    """
+    keyed: Dict[Tuple, List[ShardSpec]] = {}
+    for shard in shards:
+        if not is_trainable(shard.strategy):
+            continue
+        key = (
+            shard.sweep,
+            shard.profile,
+            shard.experiment,
+            shard.strategy,
+            shard.cost,
+            shard.execution,
+            shard.risk,
+            shard.overrides,
+        )
+        keyed.setdefault(key, []).append(shard)
+    groups = [members for members in keyed.values() if len(members) >= 2]
+    grouped_ids = {s.shard_id for members in groups for s in members}
+    singles = [s for s in shards if s.shard_id not in grouped_ids]
+    return groups, singles
+
+
 @dataclass
 class ShardOutcome:
     """One shard's fate in a sweep run.
 
     ``attempts`` counts tries actually made (1 on the healthy path);
     ``error`` carries the final attempt's traceback text when the shard
-    was quarantined.
+    was quarantined.  ``elapsed``/``group_size``/``group`` record how
+    the shard executed — ``group_size > 1`` means it trained inside a
+    seed-vectorized group (``group`` names it, ``elapsed`` is the whole
+    group's wall-clock); serial shards carry their own wall-clock and
+    the defaults otherwise, so pre-vectorization callers see no change.
     """
 
     shard: ShardSpec
@@ -208,6 +352,9 @@ class ShardOutcome:
     metrics: Dict[str, float]
     attempts: int = 1
     error: Optional[str] = None
+    elapsed: float = 0.0
+    group_size: int = 1
+    group: Optional[str] = None
 
     @property
     def shard_id(self) -> str:
@@ -238,6 +385,42 @@ class SweepResult:
     @property
     def complete(self) -> bool:
         return not self.pending and not self.quarantined
+
+    def timing_summary(self) -> Optional[Dict[str, object]]:
+        """Wall-clock per seed-vectorized group vs per serial shard.
+
+        ``None`` unless at least one shard ran inside a vectorized
+        group this call — sweeps that never opt in render exactly as
+        before.  Group wall-clock counts each group once (every member
+        outcome carries the group total); the per-shard side only sums
+        shards that were actually timed (the serial execution path).
+        """
+        grouped = [
+            o for o in self.outcomes if o.status == "ran" and o.group_size > 1
+        ]
+        if not grouped:
+            return None
+        per_group: Dict[str, float] = {}
+        for outcome in grouped:
+            per_group[str(outcome.group)] = outcome.elapsed
+        group_wall = sum(per_group.values())
+        summary: Dict[str, object] = {
+            "vectorized_shards": len(grouped),
+            "groups": len(per_group),
+            "group_wall_s": round(group_wall, 4),
+            "sec_per_shard_grouped": round(group_wall / len(grouped), 4),
+        }
+        solo = [
+            o
+            for o in self.outcomes
+            if o.status == "ran" and o.group_size == 1 and o.elapsed > 0
+        ]
+        if solo:
+            solo_wall = sum(o.elapsed for o in solo)
+            summary["serial_shards"] = len(solo)
+            summary["serial_wall_s"] = round(solo_wall, 4)
+            summary["sec_per_shard_serial"] = round(solo_wall / len(solo), 4)
+        return summary
 
     def aggregate(self) -> List[Dict[str, object]]:
         """Across-seed mean±std per (experiment, strategy, cost,
@@ -315,6 +498,19 @@ class SweepRunner:
         Optional :class:`~repro.resilience.FaultPlan` arming the
         engine's chaos seams.  ``None`` (or an empty plan) leaves every
         shard on the unhardened code path.
+    vectorize_seeds:
+        Coalesce trainable shards that differ only in the seed axis
+        into stacked :func:`run_shard_group` calls (bit-identical
+        per-shard artifacts on the reference backend).  Groups run
+        in-process; a group that fails for any reason falls back to
+        the ordinary per-shard retry path, and an armed fault plan
+        disables grouping outright (the chaos seams key on per-shard
+        attempts).
+    backend:
+        Numeric backend for vectorized groups (name or
+        :class:`~repro.backend.Backend`; ``None`` = the bit-identical
+        reference tier).  Only consulted when ``vectorize_seeds`` is
+        on.
     sleep:
         Injectable sleeper for backoff waits (tests pass a no-op).
     """
@@ -326,6 +522,8 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        vectorize_seeds: bool = False,
+        backend=None,
         sleep: Callable[[float], None] = time.sleep,
     ):
         self.spec = spec
@@ -336,6 +534,8 @@ class SweepRunner:
         if plan is not None and plan.is_empty():
             plan = None  # empty plan ≡ no plan, everywhere
         self.fault_plan = plan
+        self.vectorize_seeds = bool(vectorize_seeds)
+        self.backend = backend
         self._sleep = sleep
 
     def run(
@@ -380,7 +580,12 @@ class SweepRunner:
         max_attempts = max(1, self.retry.max_attempts)
 
         def collect(
-            shard: ShardSpec, summary: Dict[str, object], attempts: int
+            shard: ShardSpec,
+            summary: Dict[str, object],
+            attempts: int,
+            elapsed: float = 0.0,
+            group_size: int = 1,
+            group: Optional[str] = None,
         ) -> None:
             if summary["status"] == "error":
                 outcome = ShardOutcome(
@@ -396,10 +601,47 @@ class SweepRunner:
                     str(summary["status"]),
                     dict(summary["metrics"]),
                     attempts=attempts,
+                    elapsed=elapsed,
+                    group_size=group_size,
+                    group=group,
                 )
             outcomes.append(outcome)
             if progress is not None:
                 progress(shard.shard_id, outcome.status)
+
+        if self.vectorize_seeds and self.fault_plan is None:
+            # Coalesce same-config seed runs into stacked groups; the
+            # leftovers (baselines, singleton seeds, and — because the
+            # max_shards cut above can split a group mid-seed-axis —
+            # the tail of an interrupted group) keep the ordinary
+            # per-shard path.  Chaos runs never group: the fault seams
+            # key on per-shard attempt draws.
+            groups, to_run = _seed_groups(to_run)
+            for group_shards in groups:
+                label = group_shards[0].shard_id
+                t0 = time.perf_counter()
+                try:
+                    summaries = run_shard_group(
+                        group_shards, root, backend=self.backend
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    # Fall back: the group rejoins the per-shard retry
+                    # path (run_shard is idempotent, so members already
+                    # committed before the failure are skipped there).
+                    to_run.extend(group_shards)
+                    continue
+                elapsed = time.perf_counter() - t0
+                for shard, summary in zip(group_shards, summaries):
+                    collect(
+                        shard,
+                        summary,
+                        attempts=1,
+                        elapsed=elapsed,
+                        group_size=len(group_shards),
+                        group=label,
+                    )
 
         if parallel and len(to_run) > 1:
             workers = self.max_workers or min(len(to_run), 4)
@@ -443,6 +685,7 @@ class SweepRunner:
         else:
             for shard in to_run:
                 position = positions[shard.shard_id]
+                t0 = time.perf_counter()
                 for attempt in range(max_attempts):
                     try:
                         summary = run_shard(
@@ -461,7 +704,12 @@ class SweepRunner:
                             "status": "error",
                             "traceback": traceback.format_exc(),
                         }
-                    collect(shard, summary, attempts=attempt + 1)
+                    collect(
+                        shard,
+                        summary,
+                        attempts=attempt + 1,
+                        elapsed=time.perf_counter() - t0,
+                    )
                     break
 
         # Keep outcomes in expansion order — aggregation and manifests

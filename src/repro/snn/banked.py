@@ -1,0 +1,769 @@
+"""Seed-banked SNN kernels: S independent networks on one stacked tape.
+
+The fused STBP kernels (:mod:`~repro.snn.neurons`,
+:mod:`~repro.snn.layers`, :mod:`~repro.snn.network`) are almost entirely
+row-independent — encoder chain, LIF dynamics, surrogate, softmax rows —
+so S seeds' batches can ride one static ``(S·B, …)`` tape and every
+elementwise kernel steps all seeds per call.  The weighted ops (layer
+GEMMs, readout, decoder) see per-seed parameters; this module runs them
+as *banks*: one BLAS-batched 3-D ``np.matmul`` over the
+``(S, rows, ·)`` stack, with the per-seed weight matrices stored as
+contiguous slices of one C-contiguous bank array.
+
+Bit-parity of the batched path
+------------------------------
+
+numpy's batched matmul loops the same BLAS GEMM over axis-0 slices, so
+when every per-seed operand slice has *the serial operand's memory
+layout* — the same values with the same strides — each slice issues
+the identical BLAS call the serial kernel would, and the results are
+bit-identical.  The banks are arranged to preserve those layouts
+exactly: one ``(S, out, in)`` C-contiguous bank per layer whose slices
+are the serial ``W`` (used directly for the input gradient ``g @ W``),
+with the forward drive ``x @ W.T`` taking the bank's axis-swapped
+*view* — the same transposed-view operand the serial ``x @
+layer.weight.data.T`` hands BLAS.  Mixing orientations (e.g. a
+contiguous copy where the serial op passes a transposed view) changes
+the BLAS kernel's memory-access order and flips last-ulp roundings at
+some shapes, so operand layout mirroring is load-bearing, not a
+convenience.
+
+Elementwise bank ops (bias broadcast, reductions over the per-seed row
+axis) reduce the same values in the same order as their serial
+counterparts.  The parity suite and the bench ``--check`` gate assert
+the end-to-end guarantee: on the ``reference`` (float64) backend every
+seed's weight trajectory and PVM are bit-identical to S serial runs.
+On the ``fast`` backend the same code runs on float32 tapes and
+float32-cast weights — close, not bit-identical; see
+:mod:`repro.backend`.
+
+Row layout is seed-blocked: rows ``[s·R, (s+1)·R)`` belong to seed
+``s``, so every per-seed view is a contiguous axis-0 slice of a
+C-contiguous buffer.
+
+Parameter banking
+-----------------
+
+Banks *own* the parameter storage: at construction each per-seed
+:class:`~repro.autograd.nn.Parameter`'s ``.data`` is rebound to its
+contiguous slice of the float64 bank (same values, same shape — the
+live networks keep working for inference, ``state_dict``, and serial
+retraining).  Gradients land in matching float64 grad banks, freshly
+written every step, and each parameter's ``.grad`` is pointed at its
+slice — so a per-seed ``optimizer.step()`` loop still works, while the
+:class:`~repro.agents.multiseed.MultiSeedTrainer` can instead update
+whole banks with one elementwise op per optimizer state buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from .decoding import softmax_head_backward, softmax_head_forward
+from .encoding import EncoderBuffers, PopulationEncoder
+from .layers import SpikingLinear, SpikingStack
+from .network import SDPNetwork, SharedSDPNetwork
+from .neurons import LIFTrainTape, lif_backward_step, lif_step_train
+
+__all__ = [
+    "ParamBank",
+    "BankedLinearTape",
+    "SpikingLinearBank",
+    "SpikingStackBank",
+    "SharedSDPBank",
+    "MonolithicSDPBank",
+]
+
+
+# ----------------------------------------------------------------------
+# parameter banking
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParamBank:
+    """One logical parameter across S seeds, stored as one array.
+
+    ``bank[s]`` *is* seed ``s``'s live parameter storage (the
+    Parameter's ``.data`` is a view into it) and ``grad[s]`` its
+    gradient, rewritten every training step.  Both stay float64 on
+    every backend tier.
+    """
+
+    bank: np.ndarray          # (S,) + param shape, float64
+    grad: np.ndarray          # (S,) + param shape, float64
+    params: List[Tensor]      # per-seed Parameters; params[s].data is bank[s]
+
+
+def _bank_params(params: Sequence[Tensor]) -> ParamBank:
+    """Stack per-seed parameters into a bank and rebind their storage."""
+    params = list(params)
+    bank = np.stack([np.asarray(p.data, dtype=np.float64) for p in params])
+    for s, p in enumerate(params):
+        p.data = bank[s]
+    return ParamBank(bank=bank, grad=np.zeros_like(bank), params=params)
+
+
+def _publish_grads(pb: ParamBank) -> None:
+    """Point each seed's ``.grad`` at its freshly written bank slice."""
+    for s, p in enumerate(pb.params):
+        p.grad = pb.grad[s]
+
+
+# ----------------------------------------------------------------------
+# dtype-parametrised buffer construction
+# ----------------------------------------------------------------------
+
+def _lif_tape(timesteps: int, shape, dtype) -> LIFTrainTape:
+    """A :class:`LIFTrainTape` with buffers of ``dtype`` (float64 gives
+    exactly :meth:`LIFTrainTape.zeros`)."""
+    return LIFTrainTape(
+        voltage=np.zeros((timesteps + 1,) + tuple(shape), dtype=dtype),
+        spikes=np.zeros((timesteps + 1,) + tuple(shape), dtype=dtype),
+        current=np.zeros(shape, dtype=dtype),
+        drive=np.empty(shape, dtype=dtype),
+        scratch=np.empty(shape, dtype=dtype),
+        g_voltage=np.empty(shape, dtype=dtype),
+        g_current=np.empty(shape, dtype=dtype),
+        g_gate=np.empty(shape, dtype=dtype),
+        g_spikes=np.empty(shape, dtype=dtype),
+        timesteps=timesteps,
+    )
+
+
+def _encoder_buffers(
+    encoder: PopulationEncoder, rows: int, timesteps: int, dtype
+) -> EncoderBuffers:
+    """:meth:`PopulationEncoder.make_buffers` with a selectable dtype."""
+    cfg = encoder.config
+    neurons = cfg.state_dim * cfg.pop_size
+    return EncoderBuffers(
+        stim=np.empty((rows, cfg.state_dim, cfg.pop_size), dtype=dtype),
+        scaled=np.empty((rows, cfg.state_dim, cfg.pop_size), dtype=dtype),
+        voltage=np.empty((rows, neurons), dtype=dtype),
+        fired=np.empty((rows, neurons), dtype=bool),
+        spikes=np.empty((timesteps, rows, neurons), dtype=dtype),
+    )
+
+
+# ----------------------------------------------------------------------
+# layer-level banks
+# ----------------------------------------------------------------------
+
+@dataclass
+class BankedLinearTape:
+    """Stacked-tape analogue of :class:`~repro.snn.layers.SpikingLinearTape`.
+
+    The LIF tape covers all seeds' rows at once; the gradient
+    accumulators keep the per-seed ``(in, out)`` GEMM orientation (one
+    3-D slot per seed) so the t = T first-write / t < T accumulate
+    arithmetic stays the serial kernel's.
+    """
+
+    lif: LIFTrainTape            # stacked (T+1, S·R, out)
+    g_weight: np.ndarray         # (S, in, out)
+    g_weight_step: np.ndarray    # (S, in, out)
+    g_bias: np.ndarray           # (S, out)
+    g_bias_step: np.ndarray      # (S, out)
+    g_input: np.ndarray          # (S·R, in)
+
+
+class SpikingLinearBank:
+    """S same-shaped :class:`SpikingLinear` layers stepped on one tape."""
+
+    def __init__(
+        self,
+        layers: Sequence[SpikingLinear],
+        dtype=np.float64,
+        batched: bool = True,
+    ):
+        layers = list(layers)
+        if not layers:
+            raise ValueError("bank needs at least one layer")
+        first = layers[0]
+        for layer in layers[1:]:
+            if (
+                layer.in_features != first.in_features
+                or layer.out_features != first.out_features
+            ):
+                raise ValueError(
+                    "banked layers must share shapes: "
+                    f"({first.in_features}, {first.out_features}) vs "
+                    f"({layer.in_features}, {layer.out_features})"
+                )
+            if layer.lif != first.lif:
+                raise ValueError("banked layers must share LIF parameters")
+        self.layers = layers
+        self.n_seeds = len(layers)
+        self.in_features = first.in_features
+        self.out_features = first.out_features
+        self.lif = first.lif
+        self.surrogate = first.surrogate
+        self.dtype = np.dtype(dtype)
+        self.batched = bool(batched)
+        if not self.batched and self.dtype != np.float64:
+            raise ValueError("the per-seed GEMM loop path is float64-only")
+
+        # Live parameter banks: w (S, out, in) and b (S, out); the
+        # layers' Parameters become views into them.  Both GEMM
+        # orientations come from this one bank — the input gradient
+        # uses it directly, the forward drive its axis-swapped view
+        # (mirroring the serial operands' layouts exactly; see the
+        # module docstring's bit-parity note).
+        self.w = _bank_params([layer.weight for layer in layers])
+        self.b = _bank_params([layer.bias for layer in layers])
+        if self.dtype != np.float64:
+            self._w_cast = np.empty_like(self.w.bank, dtype=self.dtype)
+            self._b_cast = np.empty_like(self.b.bank, dtype=self.dtype)
+        else:
+            self._w_cast = None
+            self._b_cast = None
+
+    # -- buffers -------------------------------------------------------
+    def make_tape(self, rows_per_seed: int, timesteps: int) -> BankedLinearTape:
+        S, R = self.n_seeds, rows_per_seed
+        dt = self.dtype
+        return BankedLinearTape(
+            lif=_lif_tape(timesteps, (S * R, self.out_features), dt),
+            g_weight=np.empty((S, self.in_features, self.out_features), dtype=dt),
+            g_weight_step=np.empty(
+                (S, self.in_features, self.out_features), dtype=dt
+            ),
+            g_bias=np.empty((S, self.out_features), dtype=dt),
+            g_bias_step=np.empty((S, self.out_features), dtype=dt),
+            g_input=np.empty((S * R, self.in_features), dtype=dt),
+        )
+
+    def refresh(self) -> None:
+        """Re-cast the live float64 banks into the fast tier's float32
+        GEMM operands (call once per train step, after the optimizer
+        moved them).  No-op on the reference tier, which runs GEMMs
+        straight off the live banks."""
+        if self.dtype != np.float64:
+            np.copyto(self._w_cast, self.w.bank, casting="same_kind")
+            np.copyto(self._b_cast, self.b.bank, casting="same_kind")
+
+    # GEMM operands for the active tier.
+    def _fw_weight(self) -> np.ndarray:   # (S, in, out) transposed view
+        w = self.w.bank if self._w_cast is None else self._w_cast
+        return w.transpose(0, 2, 1)
+
+    def _bw_weight(self) -> np.ndarray:   # (S, out, in), contiguous
+        return self.w.bank if self._w_cast is None else self._w_cast
+
+    def _fw_bias(self) -> np.ndarray:     # (S, 1, out) broadcast view
+        b = self.b.bank if self._b_cast is None else self._b_cast
+        return b.reshape(self.n_seeds, 1, self.out_features)
+
+    # -- forward -------------------------------------------------------
+    def step_train(
+        self, input_spikes: np.ndarray, tape: BankedLinearTape, t: int
+    ) -> np.ndarray:
+        """All seeds' ``x @ W.T + b`` then one stacked LIF update."""
+        drive = tape.lif.drive
+        S = self.n_seeds
+        R = drive.shape[0] // S
+        if self.batched:
+            x3 = input_spikes.reshape(S, R, self.in_features)
+            d3 = drive.reshape(S, R, self.out_features)
+            np.matmul(x3, self._fw_weight(), out=d3)
+            np.add(d3, self._fw_bias(), out=d3)
+        else:
+            for s, layer in enumerate(self.layers):
+                sl = slice(s * R, (s + 1) * R)
+                np.matmul(input_spikes[sl], layer.weight.data.T, out=drive[sl])
+                np.add(drive[sl], layer.bias.data, out=drive[sl])
+        return lif_step_train(drive, tape.lif, self.lif, t)
+
+    # -- backward ------------------------------------------------------
+    def backward_step_train(
+        self,
+        grad_spikes: np.ndarray,
+        input_spikes: np.ndarray,
+        tape: BankedLinearTape,
+        t: int,
+        need_input_grad: bool = True,
+    ) -> Optional[np.ndarray]:
+        """Stacked LIF backward, then batched GEMM grads — the serial
+        t == T first-write / t < T accumulate pattern."""
+        g_drive = lif_backward_step(
+            grad_spikes, tape.lif, self.lif, self.surrogate, t
+        )
+        S = self.n_seeds
+        R = g_drive.shape[0] // S
+        last = t == tape.lif.timesteps
+        if self.batched:
+            x3 = input_spikes.reshape(S, R, self.in_features)
+            g3 = g_drive.reshape(S, R, self.out_features)
+            if last:
+                np.matmul(x3.transpose(0, 2, 1), g3, out=tape.g_weight)
+                np.add.reduce(g3, axis=1, out=tape.g_bias)
+            else:
+                np.matmul(x3.transpose(0, 2, 1), g3, out=tape.g_weight_step)
+                np.add(tape.g_weight, tape.g_weight_step, out=tape.g_weight)
+                np.add.reduce(g3, axis=1, out=tape.g_bias_step)
+                np.add(tape.g_bias, tape.g_bias_step, out=tape.g_bias)
+            if need_input_grad:
+                gi3 = tape.g_input.reshape(S, R, self.in_features)
+                np.matmul(g3, self._bw_weight(), out=gi3)
+                return tape.g_input
+            return None
+        for s, layer in enumerate(self.layers):
+            sl = slice(s * R, (s + 1) * R)
+            if last:
+                np.matmul(input_spikes[sl].T, g_drive[sl], out=tape.g_weight[s])
+                np.add.reduce(g_drive[sl], axis=0, out=tape.g_bias[s])
+            else:
+                np.matmul(
+                    input_spikes[sl].T, g_drive[sl], out=tape.g_weight_step[s]
+                )
+                np.add(tape.g_weight[s], tape.g_weight_step[s], out=tape.g_weight[s])
+                np.add.reduce(g_drive[sl], axis=0, out=tape.g_bias_step[s])
+                np.add(tape.g_bias[s], tape.g_bias_step[s], out=tape.g_bias[s])
+            if need_input_grad:
+                np.matmul(g_drive[sl], layer.weight.data, out=tape.g_input[sl])
+        return tape.g_input if need_input_grad else None
+
+    def finalize_train_grads(self, tape: BankedLinearTape) -> None:
+        """Flush the tape's accumulated gradients into the grad banks.
+
+        The transpose back to the parameter's ``(out, in)`` orientation
+        is an elementwise copy (value-identical to the serial ``.T``
+        accumulate), widening float32 tapes to float64 exactly.
+        """
+        self.w.grad[:] = tape.g_weight.transpose(0, 2, 1)
+        self.b.grad[:] = tape.g_bias
+        _publish_grads(self.w)
+        _publish_grads(self.b)
+
+    def param_banks(self) -> List[ParamBank]:
+        return [self.w, self.b]
+
+
+class SpikingStackBank:
+    """Per-layer :class:`SpikingLinearBank` chain over S spiking stacks."""
+
+    def __init__(
+        self,
+        stacks: Sequence[SpikingStack],
+        dtype=np.float64,
+        batched: bool = True,
+    ):
+        stacks = list(stacks)
+        depth = len(stacks[0].layers)
+        for stack in stacks[1:]:
+            if len(stack.layers) != depth:
+                raise ValueError("banked stacks must share depth")
+        self.banks = [
+            SpikingLinearBank(
+                [stack.layers[k] for stack in stacks], dtype=dtype, batched=batched
+            )
+            for k in range(depth)
+        ]
+        self.n_seeds = len(stacks)
+        self.out_features = stacks[0].out_features
+
+    def make_tapes(self, rows_per_seed: int, timesteps: int) -> List[BankedLinearTape]:
+        return [bank.make_tape(rows_per_seed, timesteps) for bank in self.banks]
+
+    def refresh(self) -> None:
+        for bank in self.banks:
+            bank.refresh()
+
+    def step_train(
+        self, input_spikes: np.ndarray, tapes: List[BankedLinearTape], t: int
+    ) -> np.ndarray:
+        spikes = input_spikes
+        for bank, tape in zip(self.banks, tapes):
+            spikes = bank.step_train(spikes, tape, t)
+        return spikes
+
+    def backward(
+        self,
+        tapes: List[BankedLinearTape],
+        spike_trains: np.ndarray,
+        grad_sum_spikes: np.ndarray,
+        timesteps: int,
+    ) -> None:
+        """Stacked replay of :func:`~repro.snn.network._stbp_backward` —
+        same t = T..1, top-down layer schedule."""
+        banks = self.banks
+        for t in range(timesteps, 0, -1):
+            g = grad_sum_spikes
+            for k in range(len(banks) - 1, -1, -1):
+                inp = tapes[k - 1].lif.spikes[t] if k > 0 else spike_trains[t - 1]
+                g = banks[k].backward_step_train(
+                    g, inp, tapes[k], t, need_input_grad=k > 0
+                )
+        for bank, tape in zip(banks, tapes):
+            bank.finalize_train_grads(tape)
+
+    def param_banks(self) -> List[ParamBank]:
+        out: List[ParamBank] = []
+        for bank in self.banks:
+            out.extend(bank.param_banks())
+        return out
+
+
+# ----------------------------------------------------------------------
+# network-level bank executors
+# ----------------------------------------------------------------------
+
+def _check_bank_networks(networks) -> None:
+    if len(networks) < 1:
+        raise ValueError("bank needs at least one network")
+    first = networks[0]
+    for net in networks[1:]:
+        if net.config != first.config:
+            raise ValueError(
+                "banked networks must share a config (only the seed may differ)"
+            )
+    if first.config.encoder_mode != "deterministic":
+        raise ValueError(
+            "seed-banked training requires the deterministic encoder: the "
+            "probabilistic mode consumes a per-network RNG stream that a "
+            "shared stacked encode cannot reproduce"
+        )
+
+
+@dataclass
+class _SharedBankTape:
+    """Stacked analogue of :class:`~repro.snn.network.SharedTrainTape`."""
+
+    layer_tapes: List[BankedLinearTape]
+    encoder: EncoderBuffers
+    sum_spikes: np.ndarray   # (S·batch·assets, P)
+    rates: np.ndarray        # (S·batch·assets, P)
+    scores: np.ndarray       # (S·batch·assets,)
+    logits: np.ndarray       # (S·batch, assets + 1)
+    temp: np.ndarray         # (S·batch, assets + 1)
+    temp_sum: np.ndarray     # (S·batch, 1)
+    action: np.ndarray       # (S·batch, assets + 1)
+    g_rates: np.ndarray      # (S·batch·assets, P)
+    g_sum: np.ndarray        # (S·batch·assets, P)
+    batch: int               # per-seed batch
+    n_assets: int
+    timesteps: int
+    spike_trains: Optional[np.ndarray] = None
+
+
+class SharedSDPBank:
+    """S :class:`SharedSDPNetwork` instances trained on one stacked tape.
+
+    Mirrors :meth:`SharedSDPNetwork.policy_forward_fused` /
+    :meth:`policy_backward_fused` op for op; the readout head runs as a
+    batched matvec over contiguous per-seed weight banks and batched
+    per-seed-axis reductions — each seed's slice sees exactly the serial
+    arithmetic (same values, same reduction order), so the reference
+    tier stays bit-identical.
+    """
+
+    def __init__(
+        self,
+        networks: Sequence[SharedSDPNetwork],
+        dtype=np.float64,
+        batched: bool = True,
+    ):
+        networks = list(networks)
+        _check_bank_networks(networks)
+        self.networks = networks
+        self.n_seeds = len(networks)
+        self.dtype = np.dtype(dtype)
+        self.batched = bool(batched)
+        self.stack_bank = SpikingStackBank(
+            [net.stack for net in networks], dtype=self.dtype, batched=batched
+        )
+        self.encoder = networks[0].encoder
+        # Head banks: readout weight (S, P), readout bias (S, 1),
+        # cash bias (S, 1).
+        self.r_w = _bank_params([net.readout_weight for net in networks])
+        self.r_b = _bank_params([net.readout_bias for net in networks])
+        self.c_b = _bank_params([net.cash_bias for net in networks])
+        self._r_w_cast = (
+            np.empty_like(self.r_w.bank, dtype=self.dtype)
+            if self.dtype != np.float64
+            else None
+        )
+        self._r_b_cast = (
+            np.empty_like(self.r_b.bank, dtype=self.dtype)
+            if self.dtype != np.float64
+            else None
+        )
+        self._train_tape: Optional[_SharedBankTape] = None
+
+    # -- buffers -------------------------------------------------------
+    def _ensure_tape(
+        self, batch: int, n_assets: int, timesteps: int
+    ) -> _SharedBankTape:
+        tape = self._train_tape
+        if (
+            tape is None
+            or tape.batch != batch
+            or tape.n_assets != n_assets
+            or tape.timesteps != timesteps
+        ):
+            S = self.n_seeds
+            rows = S * batch * n_assets
+            P = self.stack_bank.out_features
+            dt = self.dtype
+            tape = _SharedBankTape(
+                layer_tapes=self.stack_bank.make_tapes(batch * n_assets, timesteps),
+                encoder=_encoder_buffers(self.encoder, rows, timesteps, dt),
+                sum_spikes=np.empty((rows, P), dtype=dt),
+                rates=np.empty((rows, P), dtype=dt),
+                scores=np.empty(rows, dtype=dt),
+                logits=np.empty((S * batch, n_assets + 1), dtype=dt),
+                temp=np.empty((S * batch, n_assets + 1), dtype=dt),
+                temp_sum=np.empty((S * batch, 1), dtype=dt),
+                action=np.empty((S * batch, n_assets + 1), dtype=dt),
+                g_rates=np.empty((rows, P), dtype=dt),
+                g_sum=np.empty((rows, P), dtype=dt),
+                batch=batch,
+                n_assets=n_assets,
+                timesteps=timesteps,
+            )
+            self._train_tape = tape
+        return tape
+
+    def _refresh(self) -> None:
+        self.stack_bank.refresh()
+        if self._r_w_cast is not None:
+            np.copyto(self._r_w_cast, self.r_w.bank, casting="same_kind")
+            np.copyto(self._r_b_cast, self.r_b.bank, casting="same_kind")
+
+    def _readout_w(self) -> np.ndarray:   # (S, P)
+        return self.r_w.bank if self._r_w_cast is None else self._r_w_cast
+
+    def _readout_b(self) -> np.ndarray:   # (S, 1)
+        return self.r_b.bank if self._r_b_cast is None else self._r_b_cast
+
+    # -- forward -------------------------------------------------------
+    def forward(self, stacked_features: np.ndarray) -> np.ndarray:
+        """Fused forward over a seed-stacked ``(S·B, A, D)`` feature batch.
+
+        Returns the stacked ``(S·B, A + 1)`` action buffer (rows
+        ``[s·B, (s+1)·B)`` belong to seed ``s``), valid until the next
+        forward.
+        """
+        feats = np.asarray(stacked_features, dtype=np.float64)
+        S = self.n_seeds
+        if feats.ndim != 3 or feats.shape[0] % S:
+            raise ValueError(
+                f"expected (S·B, assets, features) with S={S}, got {feats.shape}"
+            )
+        batch = feats.shape[0] // S
+        n_assets = feats.shape[1]
+        timesteps = self.networks[0].config.timesteps
+        tape = self._ensure_tape(batch, n_assets, timesteps)
+        flat = feats.reshape(feats.shape[0] * n_assets, feats.shape[2])
+        tape.spike_trains = self.encoder.encode_buffered(
+            flat, timesteps, tape.encoder
+        )
+        for lt in tape.layer_tapes:
+            lt.lif.begin()
+        self._refresh()
+        for t in range(1, timesteps + 1):
+            spikes = self.stack_bank.step_train(
+                tape.spike_trains[t - 1], tape.layer_tapes, t
+            )
+            if t == 1:
+                np.copyto(tape.sum_spikes, spikes)
+            else:
+                np.add(tape.sum_spikes, spikes, out=tape.sum_spikes)
+        np.multiply(tape.sum_spikes, 1.0 / timesteps, out=tape.rates)
+        R = batch * n_assets
+        P = self.stack_bank.out_features
+        # Batched per-seed matvec rates @ w: (S, R, P) @ (S, P, 1).
+        rates3 = tape.rates.reshape(S, R, P)
+        scores3 = tape.scores.reshape(S, R, 1)
+        np.matmul(rates3, self._readout_w().reshape(S, P, 1), out=scores3)
+        np.add(scores3, self._readout_b().reshape(S, 1, 1), out=scores3)
+        logits3 = tape.logits.reshape(S, batch, n_assets + 1)
+        logits3[:, :, 0] = self.c_b.bank
+        tape.logits[:, 1:] = tape.scores.reshape(S * batch, n_assets)
+        return softmax_head_forward(
+            tape.logits, tape.temp, tape.temp_sum, tape.action
+        )
+
+    # -- backward ------------------------------------------------------
+    def backward(self, grad_action: np.ndarray) -> None:
+        tape = self._train_tape
+        if tape is None or tape.spike_trains is None:
+            raise RuntimeError("forward must be called first")
+        grad_action = np.asarray(grad_action, dtype=self.dtype)
+        S = self.n_seeds
+        batch, n_assets = tape.batch, tape.n_assets
+        R = batch * n_assets
+        P = self.stack_bank.out_features
+        g_logits = softmax_head_backward(grad_action, tape.temp, tape.temp_sum)
+        g_scores = g_logits[:, 1:].reshape(S * R)
+        # Head gradients, batched over the per-seed row axis.  Each
+        # reduction runs over the same values in the same order as the
+        # serial per-seed sums; results land in the float64 grad banks
+        # (widening float32 exactly, as the serial cast does).
+        g_logits3 = g_logits.reshape(S, batch, n_assets + 1)
+        self.c_b.grad[:] = g_logits3[:, :, :1].sum(axis=1)
+        self.r_b.grad[:, 0] = g_scores.reshape(S, R).sum(axis=1)
+        self.r_w.grad[:] = (
+            tape.rates * g_scores[:, None]
+        ).reshape(S, R, P).sum(axis=1)
+        g_scores3 = g_scores.reshape(S, R, 1)
+        g_rates3 = tape.g_rates.reshape(S, R, P)
+        np.multiply(
+            g_scores3, self._readout_w().reshape(S, 1, P), out=g_rates3
+        )
+        np.multiply(tape.g_rates, 1.0 / tape.timesteps, out=tape.g_sum)
+        self.stack_bank.backward(
+            tape.layer_tapes, tape.spike_trains, tape.g_sum, tape.timesteps
+        )
+        _publish_grads(self.r_w)
+        _publish_grads(self.r_b)
+        _publish_grads(self.c_b)
+
+    def param_banks(self) -> List[ParamBank]:
+        return self.stack_bank.param_banks() + [self.r_w, self.r_b, self.c_b]
+
+
+@dataclass
+class _MonolithicBankTape:
+    """Stacked analogue of :class:`~repro.snn.network.SDPTrainTape`.
+
+    The decoder head runs in float64 on every tier (as the serial
+    decoder does); its buffers are stacked across seeds.
+    """
+
+    layer_tapes: List[BankedLinearTape]
+    encoder: EncoderBuffers
+    sum_spikes: np.ndarray   # (S·batch, N·P)
+    rates: np.ndarray        # (S·batch, N, P) float64 decoder rates
+    temp: np.ndarray         # (S·batch, N) float64
+    temp_sum: np.ndarray     # (S·batch, 1) float64
+    action: np.ndarray       # (S·batch, N) float64
+    g_sum: np.ndarray        # (S·batch, N·P)
+    batch: int               # per-seed batch
+    timesteps: int
+    spike_trains: Optional[np.ndarray] = None
+
+
+class MonolithicSDPBank:
+    """S :class:`SDPNetwork` instances trained on one stacked tape."""
+
+    def __init__(
+        self,
+        networks: Sequence[SDPNetwork],
+        dtype=np.float64,
+        batched: bool = True,
+    ):
+        networks = list(networks)
+        _check_bank_networks(networks)
+        self.networks = networks
+        self.n_seeds = len(networks)
+        self.dtype = np.dtype(dtype)
+        self.batched = bool(batched)
+        self.stack_bank = SpikingStackBank(
+            [net.stack for net in networks], dtype=self.dtype, batched=batched
+        )
+        self.encoder = networks[0].encoder
+        # Decoder head banks: weight (S, N, P), bias (S, N).
+        self.d_w = _bank_params([net.decoder.weight for net in networks])
+        self.d_b = _bank_params([net.decoder.bias for net in networks])
+        self._train_tape: Optional[_MonolithicBankTape] = None
+
+    def _ensure_tape(self, batch: int, timesteps: int) -> _MonolithicBankTape:
+        tape = self._train_tape
+        if tape is None or tape.batch != batch or tape.timesteps != timesteps:
+            S = self.n_seeds
+            rows = S * batch
+            out = self.stack_bank.out_features
+            dt = self.dtype
+            decoder = self.networks[0].decoder
+            N, P = decoder.num_actions, decoder.pop_size
+            tape = _MonolithicBankTape(
+                layer_tapes=self.stack_bank.make_tapes(batch, timesteps),
+                encoder=_encoder_buffers(self.encoder, rows, timesteps, dt),
+                sum_spikes=np.empty((rows, out), dtype=dt),
+                rates=np.empty((rows, N, P)),
+                temp=np.empty((rows, N)),
+                temp_sum=np.empty((rows, 1)),
+                action=np.empty((rows, N)),
+                g_sum=np.empty((rows, out), dtype=dt),
+                batch=batch,
+                timesteps=timesteps,
+            )
+            self._train_tape = tape
+        return tape
+
+    def forward(self, stacked_states: np.ndarray) -> np.ndarray:
+        """Fused forward over a seed-stacked ``(S·B, D)`` state batch."""
+        states = np.asarray(stacked_states, dtype=np.float64)
+        S = self.n_seeds
+        if states.ndim != 2 or states.shape[0] % S:
+            raise ValueError(
+                f"expected (S·B, state_dim) with S={S}, got {states.shape}"
+            )
+        batch = states.shape[0] // S
+        timesteps = self.networks[0].config.timesteps
+        tape = self._ensure_tape(batch, timesteps)
+        tape.spike_trains = self.encoder.encode_buffered(
+            states, timesteps, tape.encoder
+        )
+        for lt in tape.layer_tapes:
+            lt.lif.begin()
+        self.stack_bank.refresh()
+        for t in range(1, timesteps + 1):
+            spikes = self.stack_bank.step_train(
+                tape.spike_trains[t - 1], tape.layer_tapes, t
+            )
+            if t == 1:
+                np.copyto(tape.sum_spikes, spikes)
+            else:
+                np.add(tape.sum_spikes, spikes, out=tape.sum_spikes)
+        # Stacked decoder forward — the serial decode_train op sequence
+        # on seed-stacked rows (per-seed weights broadcast from banks).
+        decoder = self.networks[0].decoder
+        N, P = decoder.num_actions, decoder.pop_size
+        rows = S * batch
+        np.multiply(
+            tape.sum_spikes.reshape(rows, N, P),
+            1.0 / timesteps,
+            out=tape.rates,
+        )
+        rates4 = tape.rates.reshape(S, batch, N, P)
+        logits = (rates4 * self.d_w.bank[:, None]).sum(axis=3) + self.d_b.bank[
+            :, None, :
+        ]
+        return softmax_head_forward(
+            logits.reshape(rows, N), tape.temp, tape.temp_sum, tape.action
+        )
+
+    def backward(self, grad_action: np.ndarray) -> None:
+        tape = self._train_tape
+        if tape is None or tape.spike_trains is None:
+            raise RuntimeError("forward must be called first")
+        grad_action = np.asarray(grad_action, dtype=np.float64)
+        S, batch = self.n_seeds, tape.batch
+        decoder = self.networks[0].decoder
+        N, P = decoder.num_actions, decoder.pop_size
+        rows = S * batch
+        # Stacked decoder backward — the serial decode_backward op
+        # sequence; per-seed reductions run over the seed's own rows.
+        g_logits = softmax_head_backward(grad_action, tape.temp, tape.temp_sum)
+        g_logits3 = g_logits.reshape(S, batch, N)
+        self.d_b.grad[:] = g_logits3.sum(axis=1)
+        g_exp = np.broadcast_to(g_logits3[..., None], (S, batch, N, P))
+        rates4 = tape.rates.reshape(S, batch, N, P)
+        g_rates = g_exp * self.d_w.bank[:, None]
+        self.d_w.grad[:] = (g_exp * rates4).sum(axis=1)
+        g_flat = g_rates.reshape(rows, N * P)
+        tape.g_sum[:] = g_flat * (1.0 / tape.timesteps)
+        self.stack_bank.backward(
+            tape.layer_tapes, tape.spike_trains, tape.g_sum, tape.timesteps
+        )
+        _publish_grads(self.d_w)
+        _publish_grads(self.d_b)
+
+    def param_banks(self) -> List[ParamBank]:
+        return self.stack_bank.param_banks() + [self.d_w, self.d_b]
