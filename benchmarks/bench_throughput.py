@@ -745,6 +745,169 @@ def bench_resilience(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     }
 
 
+def bench_observability(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
+    """Crown-jewel gates for the observability layer.
+
+    Two invariants, both ``--check``-gated: with obs *disabled* (the
+    default null handle) every numeric output — sweep artifacts
+    (training + backtest), serving decision JSON — is bit-identical to
+    the obs-*enabled* run, i.e. recording metrics never perturbs the
+    science; and the obs-enabled serving dispatch costs no more than
+    ~1.1x the disabled path.  A third, structural check hits a live
+    ``GET /metrics`` and validates the Prometheus exposition plus the
+    presence of the acceptance-critical families (rebalance latency,
+    failover/shed counters).
+    """
+    import re
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.experiments import ExperimentSpec, SweepRunner
+    from repro.obs import NULL_OBS, EventLog, Obs, use_obs
+    from repro.serving.http import serve
+    from repro.serving.supervisor import ServingSupervisor
+
+    span = ("2019/01/01", "2019/02/01", 7200)
+    assets = list(range(n_assets))
+    panel = MarketGenerator(seed=321).generate(*span).select_assets(assets)
+
+    # -- sweep engine (training + backtest): an observed run writes the
+    # same series/weights bytes as a dark one, artifact for artifact.
+    spec = ExperimentSpec(
+        name="bench-obs",
+        profile="quick",
+        experiments=(1,),
+        strategies=("ucrp", "sdp"),
+        seeds=(0,),
+        overrides=(("train_steps", 8),),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with use_obs(NULL_OBS):
+            dark = SweepRunner(spec, Path(tmp) / "dark")
+            dark.run(parallel=False)
+        with use_obs(Obs(events=EventLog(level="debug"))):
+            lit = SweepRunner(spec, Path(tmp) / "lit")
+            lit.run(parallel=False)
+        sweep_identical = True
+        for shard_dir in sorted((Path(tmp) / "dark" / "shards").iterdir()):
+            for name in ("series.npz", "weights.npz"):
+                a = shard_dir / name
+                b = Path(tmp) / "lit" / "shards" / shard_dir.name / name
+                if a.exists() != b.exists():
+                    sweep_identical = False
+                elif a.exists() and a.read_bytes() != b.read_bytes():
+                    sweep_identical = False
+
+    # -- serving: obs-on responses must match obs-off byte for byte,
+    # and the instrumented dispatch must stay inside the budget.
+    def build(obs):
+        service = PortfolioService(obs=obs)
+        service.register_market("bench", panel)
+        for i in range(n_sessions):
+            service.create_session(f"s{i}", strategy="ucrp", market="bench")
+        return service
+
+    requests = [RebalanceRequest(f"s{i}") for i in range(n_sessions)]
+
+    def run_rounds(service):
+        responses = []
+        t0 = time.perf_counter()
+        for _ in range(n_rounds):
+            responses.extend(service.rebalance_many(requests))
+        return responses, time.perf_counter() - t0
+
+    # Min-of-3 to keep the overhead gate out of timing-noise territory.
+    dark_s = lit_s = float("inf")
+    for _ in range(3):
+        dark_responses, s = run_rounds(build(None))
+        dark_s = min(dark_s, s)
+        lit_responses, s = run_rounds(build(Obs()))
+        lit_s = min(lit_s, s)
+    serving_identical = all(
+        a.t == b.t
+        and np.array_equal(a.weights, b.weights)
+        and a.to_json_dict() == b.to_json_dict()
+        for a, b in zip(dark_responses, lit_responses)
+    )
+
+    # -- GET /metrics over a 1-worker supervisor: valid Prometheus text
+    # exposing rebalance latency and the failover/shed counters.
+    sample_re = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r'(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})?'
+        r" [-+]?([0-9.eE+-]+|nan|inf)$"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServingSupervisor(Path(tmp) / "state", workers=1) as sup:
+            sup.register_market("bench", panel)
+            sup.create_session("m0", strategy="ucrp", market="bench")
+            server = serve(sup, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = server.server_address[:2]
+                base = f"http://{host}:{port}"
+                with urllib.request.urlopen(f"{base}/metrics") as rsp:
+                    first_page = rsp.read().decode()
+                post = urllib.request.Request(
+                    f"{base}/rebalance",
+                    data=json.dumps({"session_id": "m0"}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                urllib.request.urlopen(post).read()
+                with urllib.request.urlopen(f"{base}/metrics") as rsp:
+                    page = rsp.read().decode()
+            finally:
+                server.shutdown()
+                server.server_close()
+    lines = [line for line in page.splitlines() if line]
+    wellformed = all(
+        line.startswith("# ") or sample_re.match(line) for line in lines
+    )
+    required = (
+        "repro_rebalance_latency_seconds",
+        "repro_stats_supervisor_failovers",
+        "repro_stats_supervisor_shed_requests",
+        "repro_uptime_seconds",
+    )
+    required_present = all(name in page for name in required)
+
+    decisions = n_sessions * n_rounds
+    overhead = round(lit_s / dark_s, 3)
+    return {
+        "sessions": n_sessions,
+        "rounds": n_rounds,
+        "paths": [
+            {
+                "name": "serving_obs_disabled_dispatch",
+                "decisions": decisions,
+                "seconds": round(dark_s, 4),
+                "decisions_per_sec": round(decisions / dark_s, 1),
+            },
+            {
+                "name": "serving_obs_enabled_dispatch",
+                "decisions": decisions,
+                "seconds": round(lit_s, 4),
+                "decisions_per_sec": round(decisions / lit_s, 1),
+            },
+        ],
+        "disabled_bit_identical": {
+            "sweep": bool(sweep_identical),
+            "serving": bool(serving_identical),
+        },
+        "overhead_enabled_vs_disabled": overhead,
+        "overhead_budget": 1.1,
+        "metrics_endpoint": {
+            "wellformed": bool(wellformed),
+            "lines": len(lines),
+            "required": list(required),
+            "required_present": bool(required_present),
+            "served_before_first_request": bool(first_page),
+        },
+    }
+
+
 def bench_load(n_assets: int, n_sessions: int, n_rounds: int) -> Dict:
     """Supervised multi-worker serving under load: ramp, sustained
     throughput, single-worker parity, and a chaos leg.
@@ -1006,6 +1169,7 @@ def main(argv=None) -> int:
     risk = bench_risk(panels, args.assets)
     serving = bench_serving(panels[0], args.assets, args.sessions, args.rounds)
     resilience = bench_resilience(args.assets, args.sessions, args.rounds)
+    observability = bench_observability(args.assets, args.sessions, args.rounds)
     load = bench_load(args.assets, args.sessions, args.rounds)
     train_panel = make_training_panel(args.assets)
     training = bench_training(train_panel, args.train_steps)
@@ -1025,6 +1189,7 @@ def main(argv=None) -> int:
         "risk": risk,
         "serving": serving,
         "resilience": resilience,
+        "observability": observability,
         "load": load,
         "training": training,
         "training_multiseed": multiseed,
@@ -1110,6 +1275,18 @@ def main(argv=None) -> int:
         f"{resilience['overhead_resilient_vs_plain']}x "
         f"(budget {resilience['overhead_budget']}x)"
     )
+    obs_parity = observability["disabled_bit_identical"]
+    obs_metrics = observability["metrics_endpoint"]
+    print(
+        f"observability disabled parity (sweep/serving): "
+        f"{obs_parity['sweep']} / {obs_parity['serving']}; enabled "
+        f"dispatch overhead: "
+        f"{observability['overhead_enabled_vs_disabled']}x "
+        f"(budget {observability['overhead_budget']}x); /metrics "
+        f"wellformed: {obs_metrics['wellformed']} "
+        f"({obs_metrics['lines']} lines, required families present: "
+        f"{obs_metrics['required_present']})"
+    )
     print(f"wrote {args.out}")
 
     if args.check:
@@ -1139,6 +1316,31 @@ def main(argv=None) -> int:
                 "RESILIENCE OVERHEAD: hardened serving dispatch cost "
                 f"{resilience['overhead_resilient_vs_plain']}x the plain path "
                 f"(budget {resilience['overhead_budget']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if not all(obs_parity.values()):
+            print(
+                "OBSERVABILITY PARITY MISMATCH: the obs-enabled run "
+                f"diverged from the disabled one ({obs_parity})",
+                file=sys.stderr,
+            )
+            return 1
+        if (
+            observability["overhead_enabled_vs_disabled"]
+            > observability["overhead_budget"]
+        ):
+            print(
+                "OBSERVABILITY OVERHEAD: obs-enabled serving dispatch cost "
+                f"{observability['overhead_enabled_vs_disabled']}x the "
+                f"disabled path (budget {observability['overhead_budget']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if not (obs_metrics["wellformed"] and obs_metrics["required_present"]):
+            print(
+                "OBSERVABILITY METRICS ENDPOINT: /metrics invalid or "
+                f"missing required families ({obs_metrics})",
                 file=sys.stderr,
             )
             return 1

@@ -12,6 +12,12 @@ Thin argparse over the experiment engine and the existing entry points:
   ``benchmarks/bench_throughput.py``)
 * ``serve``        — the HTTP portfolio service (demo market, a saved
   service checkpoint, or a strategy out of a sweep artifact store)
+* ``obs``          — observability utilities (``obs summarize`` renders
+  a JSONL event log as tables)
+
+``run``/``sweep``/``walkforward``/``serve`` accept ``--obs-dir`` (arm
+the observability layer, events land in ``<dir>/events.jsonl``) and
+``--obs-level`` (event threshold, default ``info``).
 
 Every subcommand is deliberately a few lines of wiring — the behaviour
 lives in the library so tests (and users) can drive it directly.
@@ -47,6 +53,47 @@ def _overrides(args: argparse.Namespace) -> dict:
     return out
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-dir", default=None,
+        help="arm the observability layer; structured events append to "
+        "<dir>/events.jsonl and a metrics snapshot lands there on exit "
+        "(default: observability off, bit-identical hot paths)",
+    )
+    parser.add_argument(
+        "--obs-level", default="info",
+        choices=("debug", "info", "warn", "error"),
+        help="event-log threshold when --obs-dir is set (default: info)",
+    )
+
+
+def _configure_obs(args: argparse.Namespace):
+    """Install the global obs handle for this command, or leave the
+    null object in place when ``--obs-dir`` was not given."""
+    if getattr(args, "obs_dir", None) is None:
+        return None
+    from .obs import configure
+
+    Path(args.obs_dir).mkdir(parents=True, exist_ok=True)
+    return configure(args.obs_dir, level=args.obs_level)
+
+
+def _finish_obs(obs, args: argparse.Namespace) -> None:
+    """Write the final metrics snapshot next to the event log."""
+    if obs is None:
+        return
+    import json
+
+    from .obs import set_obs
+
+    path = Path(args.obs_dir) / "snapshot.json"
+    path.write_text(json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+    obs.close()
+    set_obs(None)  # a closed handle must not stay installed
+    print(f"obs: events in {Path(args.obs_dir) / 'events.jsonl'}, "
+          f"snapshot in {path}")
+
+
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import (
@@ -59,6 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         summarize_shape_check,
     )
 
+    obs = _configure_obs(args)
     config = make_config(args.experiment, args.profile, **_overrides(args))
     result = run_experiment(config, include_baselines=not args.no_baselines)
     print(render_table3(result))
@@ -71,6 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         key = args.key or config.label
         directory = store.save_experiment(key, result)
         print(f"saved experiment to {directory}")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -201,10 +250,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         risk_regimes=_parse_risks(args.risks),
         overrides=tuple(_overrides(args).items()),
     )
+    obs = _configure_obs(args)
     runner = SweepRunner(
         spec, args.store, max_workers=args.workers,
         retry=retry, fault_plan=fault_plan,
         vectorize_seeds=args.vectorize_seeds, backend=args.backend,
+        obs_dir=args.obs_dir, obs_level=args.obs_level,
     )
     result = runner.run(
         parallel=not args.serial,
@@ -221,6 +272,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"attempt(s): {outcome.error}")
     if result.outcomes:
         print(render_sweep_table(result))
+    _finish_obs(obs, args)
     return 0 if result.complete else 3
 
 
@@ -233,6 +285,7 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
         render_walkforward_table,
     )
 
+    obs = _configure_obs(args)
     config = make_config(args.experiment, args.profile, **_overrides(args))
     start = args.start or config.window.train_start
     end = args.end or config.window.test_end
@@ -268,6 +321,7 @@ def _cmd_walkforward(args: argparse.Namespace) -> int:
     print(render_walkforward_table(report))
     print()
     print(render_regime_table(report))
+    _finish_obs(obs, args)
     return 0
 
 
@@ -300,6 +354,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import PortfolioService, ServingSupervisor
     from .serving.http import serve
 
+    obs = _configure_obs(args)
     faults = (
         FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
     )
@@ -384,7 +439,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # checkpoint goes" on shutdown.
         path = front.save_checkpoint(Path(args.state_dir) / "final")
         print(f"final checkpoint saved to {path}")
+    _finish_obs(obs, args)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import summarize_events
+
+    if args.obs_command == "summarize":
+        print(summarize_events(args.events, level=args.level, kind=args.kind))
+        return 0
+    raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--power", action="store_true", help="also print Table 4")
     p_run.add_argument("--store", default=None, help="artifact store root to save into")
     p_run.add_argument("--key", default=None, help="experiment key in the store")
+    _add_obs(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="sharded multi-seed sweep")
@@ -456,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reference, the bit-identical float64 tier; fast = float32 "
         "tapes, tolerance-level deviations)",
     )
+    _add_obs(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_wf = sub.add_parser("walkforward", help="rolling-window evaluation")
@@ -480,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="risk regime preset (none|caps|turnover|lockout|tight; "
         "default: unconstrained)",
     )
+    _add_obs(p_wf)
     p_wf.set_defaults(func=_cmd_walkforward)
 
     p_bench = sub.add_parser("bench", help="run a benchmark script")
@@ -518,7 +586,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault plan (repro.resilience.FaultPlan) arming the "
         "serving chaos seams, including supervised worker crashes",
     )
+    _add_obs(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_summ = obs_sub.add_parser(
+        "summarize", help="render a JSONL event log as tables"
+    )
+    p_summ.add_argument("events", help="path to an events.jsonl file")
+    p_summ.add_argument(
+        "--level", default=None,
+        choices=("debug", "info", "warn", "error"),
+        help="only count events at or above this level",
+    )
+    p_summ.add_argument(
+        "--kind", default=None, help="only count events of this kind"
+    )
+    p_obs.set_defaults(func=_cmd_obs)
     return parser
 
 

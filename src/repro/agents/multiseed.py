@@ -39,6 +39,7 @@ every parity gate; see :mod:`repro.backend`.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -54,6 +55,7 @@ from ..envs.observations import (
 )
 from ..envs.pvm import PortfolioVectorMemory
 from ..envs.sampling import GeometricBatchSampler
+from ..obs import get_obs
 from ..snn.banked import MonolithicSDPBank, ParamBank, SharedSDPBank
 from ..utils.rng import make_rng
 from .jiang import JiangDRLAgent
@@ -476,6 +478,17 @@ class MultiSeedTrainer:
         self._seed_col = np.arange(S)[:, None]
         self._unperm = np.empty((S, B, m + 1))
 
+        # Observability: resolved once; one attribute check per step
+        # when disabled (the process-global default null handle).
+        self._obs = get_obs()
+        if self._obs.enabled:
+            self._m_step_seconds = self._obs.histogram(
+                "repro_train_step_seconds", help="trainer step wall-clock"
+            )
+            self._m_steps = self._obs.counter(
+                "repro_train_steps_total", help="trainer steps executed"
+            )
+
     # ------------------------------------------------------------------
     def _prepare_stacked(self):
         """The serial :meth:`PolicyTrainer._prepare_batch` for all seeds.
@@ -586,7 +599,15 @@ class MultiSeedTrainer:
         every stage executed on the stacked buffers.  Gradients are
         per-seed independent, so the bank-wide update is arithmetically
         the serial per-seed order.
+
+        With an enabled obs handle each step feeds the shared
+        ``repro_train_step_seconds`` histogram and emits one debug-level
+        ``train_step_multiseed`` event (per-seed losses, action-gradient
+        norms, duration); none of it touches the update arithmetic.
         """
+        obs_on = self._obs.enabled
+        if obs_on:
+            t0 = time.perf_counter()
         w_prev_native, w_drifted, y_next = self._prepare_stacked()
         actions = self._stacked_forward(w_prev_native)
         S, B = self.n_seeds, self.config.batch_size
@@ -625,6 +646,22 @@ class MultiSeedTrainer:
             raise IndexError("PVM write out of range")
         self._pvm_bank[self._seed_col, idx] = rows
         self.completed_steps += 1
+        if obs_on:
+            elapsed = time.perf_counter() - t0
+            self._m_step_seconds.observe(elapsed)
+            self._m_steps.inc(self.n_seeds)
+            g3 = grad_actions.reshape(S, B, -1)
+            self._obs.event(
+                "train_step_multiseed",
+                level="debug",
+                step=self.completed_steps,
+                n_seeds=self.n_seeds,
+                loss=[float(x) for x in losses],
+                action_grad_norm=[
+                    float(x) for x in np.sqrt((g3 * g3).sum(axis=(1, 2)))
+                ],
+                seconds=round(elapsed, 9),
+            )
         return {"loss": losses, "reward": rewards}
 
     def train(

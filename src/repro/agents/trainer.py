@@ -16,6 +16,7 @@ return-to-go estimation.  Minibatch mechanics follow Jiang et al.:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol
 
@@ -32,6 +33,7 @@ from ..envs.costs import (
 from ..envs.observations import ObservationConfig
 from ..envs.pvm import PortfolioVectorMemory
 from ..envs.sampling import DEFAULT_GEOMETRIC_BIAS, GeometricBatchSampler
+from ..obs import get_obs
 from ..utils.rng import make_rng
 
 
@@ -154,6 +156,7 @@ class PolicyTrainer:
         config: Optional[TrainConfig] = None,
         seed: int = 0,
         use_fused: Optional[bool] = None,
+        obs=None,
     ):
         self.policy = policy
         self.data = data
@@ -197,6 +200,16 @@ class PolicyTrainer:
         self._perm_rng = make_rng(seed + 1)
         #: Total train steps this trainer has executed (resume cursor).
         self.completed_steps = 0
+        # Observability: resolved once; the process-global null handle
+        # costs one attribute check per step and nothing else.
+        self._obs = obs if obs is not None else get_obs()
+        if self._obs.enabled:
+            self._m_step_seconds = self._obs.histogram(
+                "repro_train_step_seconds", help="trainer step wall-clock"
+            )
+            self._m_steps = self._obs.counter(
+                "repro_train_steps_total", help="trainer steps executed"
+            )
 
     # ------------------------------------------------------------------
     def _drift(self, w: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -239,12 +252,46 @@ class PolicyTrainer:
         return self.data.permute_assets(perm)
 
     def train_step(self) -> Dict[str, float]:
-        """One minibatch update; returns loss/reward diagnostics."""
+        """One minibatch update; returns loss/reward diagnostics.
+
+        With an enabled obs handle, each step feeds the
+        ``repro_train_step_seconds`` histogram and emits a debug-level
+        ``train_step`` event carrying loss / reward / gradient norm /
+        duration.  The instrumentation only reads clocks and gradients
+        already produced by the update, so the weight trajectory is
+        bit-identical with obs on or off.
+        """
+        obs_on = self._obs.enabled
+        if obs_on:
+            t0 = time.perf_counter()
         stats = (
             self._train_step_fused() if self.use_fused else self._train_step_graph()
         )
         self.completed_steps += 1
+        if obs_on:
+            elapsed = time.perf_counter() - t0
+            self._m_step_seconds.observe(elapsed)
+            self._m_steps.inc()
+            self._obs.event(
+                "train_step",
+                level="debug",
+                step=self.completed_steps,
+                loss=stats["loss"],
+                reward=stats["reward"],
+                grad_norm=self.grad_norm(),
+                seconds=round(elapsed, 9),
+            )
         return stats
+
+    def grad_norm(self) -> float:
+        """L2 norm of the parameter gradients from the last update."""
+        total = 0.0
+        for param in self.policy.parameters():
+            grad = getattr(param, "grad", None)
+            if grad is not None:
+                flat = np.asarray(grad).ravel()
+                total += float(flat @ flat)
+        return float(np.sqrt(total))
 
     def _train_step_graph(self) -> Dict[str, float]:
         """Reference path: closure-graph forward + ``backward()``."""

@@ -324,6 +324,16 @@ class MarketGenerator:
 
             panel, report = validate_panel(panel, policy=repair)
             self.last_anomaly_report = report
+            from ..obs import get_obs
+
+            obs = get_obs()
+            if obs.enabled:
+                obs.event(
+                    "data_anomaly_report",
+                    level="warn" if report.total_anomalies else "debug",
+                    key=key,
+                    **report.to_json_dict(),
+                )
         return panel
 
     # ------------------------------------------------------------------

@@ -325,6 +325,20 @@ class ArtifactStore:
             metrics.update(risk_metrics_from_summary(risk))
         return metrics
 
+    def load_shard_obs(self, shard_id: str) -> Optional[Dict[str, Any]]:
+        """The shard's persisted obs snapshot (``extra["obs"]``), if any.
+
+        Shards run with observability enabled commit the snapshot their
+        per-shard :class:`~repro.obs.Obs` took (counters, gauges,
+        histogram windows).  A resumed sweep merges these back into its
+        registry exactly like the execution/risk metric ride-alongs, so
+        the aggregated obs view is independent of interruption.  JSON
+        only — no array reads.
+        """
+        extra = self._shard_json(shard_id).get("extra") or {}
+        snap = extra.get("obs")
+        return dict(snap) if isinstance(snap, dict) else None
+
     def load_strategy_spec(self, shard_id: str) -> Dict[str, Any]:
         """The shard's ``{"strategy", "params"}`` spec — json only, no
         npz reads (what a serving warm path needs)."""

@@ -41,11 +41,13 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..agents import run_backtest
+from ..obs import NULL_OBS, EventLog, Obs, get_obs, use_obs
 from ..registry import (
     DEFAULT_REGISTRY,
     is_trainable,
@@ -73,12 +75,34 @@ DEFAULT_SHARD_RETRY = RetryPolicy(
 )
 
 
+def _shard_obs(name: str, obs_dir: Optional[str], obs_level: str):
+    """A fresh per-shard obs handle, or the shared null object.
+
+    Workers cannot inherit the orchestrator's in-process handle, so
+    observability crosses the pool boundary as the picklable
+    ``(obs_dir, obs_level)`` pair: with a directory every unit of work
+    logs events to its own ``<name>.jsonl`` (whole-line appends, no
+    cross-process interleaving) and returns its metric snapshot in the
+    summary.  Without a directory, an enabled in-process handle still
+    gets a private (memory-only) per-shard registry so snapshots stay
+    per-shard; fully disabled runs pay nothing.
+    """
+    parent = get_obs()
+    if obs_dir is None and not parent.enabled:
+        return NULL_OBS
+    path = Path(obs_dir) / f"{name}.jsonl" if obs_dir is not None else None
+    level = obs_level if obs_dir is not None else parent.events.level
+    return Obs(events=EventLog(path=path, level=level))
+
+
 def run_shard(
     shard: ShardSpec,
     store_root: str,
     fault_plan: Optional[FaultPlan] = None,
     attempt: int = 0,
     position: int = 0,
+    obs_dir: Optional[str] = None,
+    obs_level: str = "info",
 ) -> Dict[str, object]:
     """Execute one shard end to end and commit its artifact.
 
@@ -92,16 +116,47 @@ def run_shard(
     ``position`` is the shard's index in spec-expansion order).  With no
     plan the extra parameters are inert and the body is the original
     code path.
+
+    ``obs_dir``/``obs_level`` arm per-shard observability (see
+    :func:`_shard_obs`): training/backtest/commit run inside spans, the
+    shard's metric snapshot persists as ``extra["obs"]`` in the
+    artifact, and the summary carries it home.  Left at their defaults
+    (and with no enabled process-global handle) the body is
+    bit-identical to the unobserved path.
     """
     store = ArtifactStore(store_root)
     shard_id = shard.shard_id
     if store.has_shard(shard_id):
-        return {
+        summary: Dict[str, object] = {
             "shard_id": shard_id,
             "status": "skipped",
             "metrics": store.load_shard_metrics(shard_id),
         }
+        snap = store.load_shard_obs(shard_id)
+        if snap is not None:
+            summary["obs"] = snap
+        return summary
 
+    obs = _shard_obs(f"shard-{shard_id}", obs_dir, obs_level)
+    try:
+        with use_obs(obs):
+            return _run_shard_observed(
+                store, shard, fault_plan, attempt, position, obs
+            )
+    finally:
+        obs.close()
+
+
+def _run_shard_observed(
+    store: ArtifactStore,
+    shard: ShardSpec,
+    fault_plan: Optional[FaultPlan],
+    attempt: int,
+    position: int,
+    obs,
+) -> Dict[str, object]:
+    """The body of :func:`run_shard` under the shard's obs handle."""
+    shard_id = shard.shard_id
     injector = injector_from(fault_plan)
     if injector is not None:
         kind = injector.shard_fault(shard_id, position, attempt)
@@ -128,7 +183,10 @@ def run_shard(
     history = None
     weights_state = None
     if is_trainable(shard.strategy):
-        history = _history_to_dict(make_trainer(agent, data.train, config).train())
+        with obs.span("shard.train", shard=shard_id, attempt=attempt):
+            history = _history_to_dict(
+                make_trainer(agent, data.train, config).train()
+            )
         weights_state = agent.network.state_dict()
 
     return _backtest_and_commit(
@@ -151,15 +209,22 @@ def _backtest_and_commit(
     The post-training half of :func:`run_shard`, shared with
     :func:`run_shard_group` so a shard trained inside a stacked seed
     group commits byte-for-byte the artifact its serial run would have.
+
+    Reads the process-global obs handle (the per-shard one inside
+    :func:`run_shard`): the back-test runs in a span and, when enabled,
+    the handle's snapshot is committed as ``extra["obs"]`` and echoed
+    in the summary.  Disabled obs leaves artifact bytes unchanged.
     """
-    result = run_backtest(
-        agent,
-        data.test,
-        observation=config.observation,
-        commission=config.commission,
-        execution=shard.build_execution_engine(),
-        risk=shard.build_risk_engine(),
-    )
+    obs = get_obs()
+    with obs.span("shard.backtest", shard=shard.shard_id):
+        result = run_backtest(
+            agent,
+            data.test,
+            observation=config.observation,
+            commission=config.commission,
+            execution=shard.build_execution_engine(),
+            risk=shard.build_risk_engine(),
+        )
     extra: Dict[str, object] = {"assets": list(data.assets)}
     metrics = _metrics_to_dict(result.metrics)
     result_extra = dict(result.extra)
@@ -175,6 +240,12 @@ def _backtest_and_commit(
         # same ride-along discipline as the execution summary.
         extra["risk"] = risk_summary
         metrics.update(risk_metrics_from_summary(risk_summary))
+    obs_snapshot = None
+    if obs.enabled:
+        # Snapshot before the commit span so the persisted view equals
+        # the summary's; the commit timing still lands in the event log.
+        obs_snapshot = obs.snapshot()
+        extra["obs"] = obs_snapshot
     artifact = ShardArtifact(
         shard=shard,
         strategy_spec={"strategy": shard.strategy, "params": params},
@@ -184,18 +255,24 @@ def _backtest_and_commit(
         history=history,
         extra=extra,
     )
-    store.save_shard(artifact)
-    return {
+    with obs.span("shard.commit", shard=shard.shard_id):
+        store.save_shard(artifact)
+    summary: Dict[str, object] = {
         "shard_id": shard.shard_id,
         "status": "ran",
         "metrics": metrics,
     }
+    if obs_snapshot is not None:
+        summary["obs"] = obs_snapshot
+    return summary
 
 
 def run_shard_group(
     shards: List[ShardSpec],
     store_root: str,
     backend=None,
+    obs_dir: Optional[str] = None,
+    obs_level: str = "info",
 ) -> List[Dict[str, object]]:
     """Execute a same-config seed group through one stacked trainer.
 
@@ -228,43 +305,69 @@ def run_shard_group(
     pending: List[ShardSpec] = []
     for shard in shards:
         if store.has_shard(shard.shard_id):
-            summaries[shard.shard_id] = {
+            summary: Dict[str, object] = {
                 "shard_id": shard.shard_id,
                 "status": "skipped",
                 "metrics": store.load_shard_metrics(shard.shard_id),
             }
+            snap = store.load_shard_obs(shard.shard_id)
+            if snap is not None:
+                summary["obs"] = snap
+            summaries[shard.shard_id] = summary
         else:
             pending.append(shard)
 
     if pending:
         configs = [shard.config() for shard in pending]
-        # Same grid row ⇒ same market seed/window: one panel serves the
-        # whole group.
-        data = build_experiment_data(configs[0])
-        agents = []
-        params_list = []
-        for shard, config in zip(pending, configs):
-            params = strategy_params_from_config(
-                shard.strategy, config, n_assets=len(data.assets)
-            )
-            params_list.append(params)
-            agents.append(DEFAULT_REGISTRY.create(shard.strategy, **params))
-        histories = make_multiseed_trainer(
-            agents, data.train, configs, backend=backend
-        ).train()
+        label = pending[0].shard_id
+        # Stacked training is group-wide work, so it gets a group-level
+        # obs handle; each member's back-test + commit then runs under
+        # its own per-shard handle (same snapshot discipline as
+        # run_shard).
+        group_obs = _shard_obs(f"group-{label}", obs_dir, obs_level)
+        try:
+            with use_obs(group_obs):
+                # Same grid row ⇒ same market seed/window: one panel
+                # serves the whole group.
+                data = build_experiment_data(configs[0])
+                agents = []
+                params_list = []
+                for shard, config in zip(pending, configs):
+                    params = strategy_params_from_config(
+                        shard.strategy, config, n_assets=len(data.assets)
+                    )
+                    params_list.append(params)
+                    agents.append(
+                        DEFAULT_REGISTRY.create(shard.strategy, **params)
+                    )
+                with group_obs.span(
+                    "group.train", group=label, size=len(pending)
+                ):
+                    histories = make_multiseed_trainer(
+                        agents, data.train, configs, backend=backend
+                    ).train()
+        finally:
+            group_obs.close()
         for shard, config, agent, params, history in zip(
             pending, configs, agents, params_list, histories
         ):
-            summaries[shard.shard_id] = _backtest_and_commit(
-                store,
-                shard,
-                config,
-                data,
-                agent,
-                params,
-                _history_to_dict(history),
-                agent.network.state_dict(),
+            shard_obs = _shard_obs(
+                f"shard-{shard.shard_id}", obs_dir, obs_level
             )
+            try:
+                with use_obs(shard_obs):
+                    summaries[shard.shard_id] = _backtest_and_commit(
+                        store,
+                        shard,
+                        config,
+                        data,
+                        agent,
+                        params,
+                        _history_to_dict(history),
+                        agent.network.state_dict(),
+                    )
+            finally:
+                shard_obs.close()
     return [summaries[shard.shard_id] for shard in shards]
 
 
@@ -274,6 +377,8 @@ def _guarded_run_shard(
     fault_plan: Optional[FaultPlan],
     attempt: int,
     position: int,
+    obs_dir: Optional[str] = None,
+    obs_level: str = "info",
 ) -> Dict[str, object]:
     """Pool-safe wrapper: failures come back as data, not exceptions.
 
@@ -291,6 +396,8 @@ def _guarded_run_shard(
             fault_plan=fault_plan,
             attempt=attempt,
             position=position,
+            obs_dir=obs_dir,
+            obs_level=obs_level,
         )
     except Exception as exc:
         return {
@@ -513,6 +620,14 @@ class SweepRunner:
         on.
     sleep:
         Injectable sleeper for backoff waits (tests pass a no-op).
+    obs_dir / obs_level:
+        Per-shard observability spec, shipped to workers as picklable
+        strings (see :func:`_shard_obs`).  With a directory every shard
+        writes its own JSONL event log under it and persists its metric
+        snapshot into the artifact; either way the runner merges all
+        shard snapshots — fresh or reloaded on resume — into the
+        process-global registry when one is enabled.  Defaults are the
+        unobserved path.
     """
 
     def __init__(
@@ -525,6 +640,8 @@ class SweepRunner:
         vectorize_seeds: bool = False,
         backend=None,
         sleep: Callable[[float], None] = time.sleep,
+        obs_dir: Optional[PathLike] = None,
+        obs_level: str = "info",
     ):
         self.spec = spec
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
@@ -537,6 +654,8 @@ class SweepRunner:
         self.vectorize_seeds = bool(vectorize_seeds)
         self.backend = backend
         self._sleep = sleep
+        self.obs_dir = str(obs_dir) if obs_dir is not None else None
+        self.obs_level = obs_level
 
     def run(
         self,
@@ -559,6 +678,7 @@ class SweepRunner:
         still runs.  (``KeyboardInterrupt`` is not a failure — it still
         aborts the run; committed shards stay committed.)
         """
+        obs = get_obs()
         shards = self.spec.expand()
         positions = {shard.shard_id: i for i, shard in enumerate(shards)}
         outcomes: List[ShardOutcome] = []
@@ -569,6 +689,12 @@ class SweepRunner:
                     shard, "skipped", self.store.load_shard_metrics(shard.shard_id)
                 )
                 outcomes.append(outcome)
+                if obs.enabled:
+                    # Resume merge: a skipped shard's persisted obs
+                    # snapshot folds in exactly like its metrics do.
+                    obs.metrics.merge_snapshot(
+                        self.store.load_shard_obs(shard.shard_id)
+                    )
                 if progress is not None:
                     progress(shard.shard_id, "skipped")
             else:
@@ -606,6 +732,15 @@ class SweepRunner:
                     group=group,
                 )
             outcomes.append(outcome)
+            if obs.enabled:
+                obs.metrics.merge_snapshot(summary.get("obs"))
+                obs.event(
+                    "shard_done",
+                    shard=shard.shard_id,
+                    status=outcome.status,
+                    attempts=attempts,
+                    elapsed=round(elapsed, 6),
+                )
             if progress is not None:
                 progress(shard.shard_id, outcome.status)
 
@@ -619,11 +754,20 @@ class SweepRunner:
             groups, to_run = _seed_groups(to_run)
             for group_shards in groups:
                 label = group_shards[0].shard_id
+                # The span is the timer (ShardOutcome.elapsed must work
+                # with obs disabled too, hence the perf_counter shadow).
                 t0 = time.perf_counter()
                 try:
-                    summaries = run_shard_group(
-                        group_shards, root, backend=self.backend
-                    )
+                    with obs.span(
+                        "sweep.group", group=label, size=len(group_shards)
+                    ):
+                        summaries = run_shard_group(
+                            group_shards,
+                            root,
+                            backend=self.backend,
+                            obs_dir=self.obs_dir,
+                            obs_level=self.obs_level,
+                        )
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception:
@@ -654,16 +798,19 @@ class SweepRunner:
                 wave = list(to_run)
                 for attempt in range(max_attempts):
                     n = len(wave)
-                    summaries = list(
-                        pool.map(
-                            _guarded_run_shard,
-                            wave,
-                            [root] * n,
-                            [self.fault_plan] * n,
-                            [attempt] * n,
-                            [positions[s.shard_id] for s in wave],
+                    with obs.span("sweep.wave", attempt=attempt, shards=n):
+                        summaries = list(
+                            pool.map(
+                                _guarded_run_shard,
+                                wave,
+                                [root] * n,
+                                [self.fault_plan] * n,
+                                [attempt] * n,
+                                [positions[s.shard_id] for s in wave],
+                                [self.obs_dir] * n,
+                                [self.obs_level] * n,
+                            )
                         )
-                    )
                     failed: List[ShardSpec] = []
                     for shard, summary in zip(wave, summaries):
                         if (
@@ -685,16 +832,22 @@ class SweepRunner:
         else:
             for shard in to_run:
                 position = positions[shard.shard_id]
+                # Span shadows the functional timer (see the group loop).
                 t0 = time.perf_counter()
                 for attempt in range(max_attempts):
                     try:
-                        summary = run_shard(
-                            shard,
-                            root,
-                            fault_plan=self.fault_plan,
-                            attempt=attempt,
-                            position=position,
-                        )
+                        with obs.span(
+                            "sweep.shard", shard=shard.shard_id, attempt=attempt
+                        ):
+                            summary = run_shard(
+                                shard,
+                                root,
+                                fault_plan=self.fault_plan,
+                                attempt=attempt,
+                                position=position,
+                                obs_dir=self.obs_dir,
+                                obs_level=self.obs_level,
+                            )
                     except Exception:
                         if attempt + 1 < max_attempts:
                             self._sleep(self.retry.delay(attempt, shard.shard_id))

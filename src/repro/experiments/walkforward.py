@@ -27,6 +27,7 @@ from ..data.market import MarketData
 from ..data.regimes import RegimeSchedule, default_crypto_schedule
 from ..data.splits import ExperimentWindow
 from ..envs.backtester import Backtester
+from ..obs import get_obs
 from ..metrics.performance import (
     final_apv,
     max_drawdown,
@@ -305,19 +306,23 @@ class WalkForwardEvaluator:
         )
         agent = self.registry.create(strategy, **params)
         optimizer = Adam(agent.parameters(), config.learning_rate)
+        obs = get_obs()
         records = []
         for k, window in enumerate(self.folds):
-            steps = config.train_steps if k == 0 else self.fine_tune_steps
-            if steps > 0:
-                train_panel, _ = window.split(self.data)
-                make_trainer(
-                    agent,
-                    train_panel,
-                    config,
-                    optimizer=optimizer,
-                    seed=self._trainer_seed(seed, k),
-                ).train(steps)
-            records.append(self._backtest_fold(agent, strategy, seed, k, window))
+            with obs.span("walkforward.fold", strategy=strategy, seed=seed, fold=k):
+                steps = config.train_steps if k == 0 else self.fine_tune_steps
+                if steps > 0:
+                    train_panel, _ = window.split(self.data)
+                    make_trainer(
+                        agent,
+                        train_panel,
+                        config,
+                        optimizer=optimizer,
+                        seed=self._trainer_seed(seed, k),
+                    ).train(steps)
+                records.append(
+                    self._backtest_fold(agent, strategy, seed, k, window)
+                )
         return records
 
     def _run_classical(self, strategy: str, seed: int) -> List[FoldRecord]:

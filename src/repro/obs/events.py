@@ -1,0 +1,134 @@
+"""Structured JSONL event log with levels and an injectable clock.
+
+Every record is one JSON object per line with a fixed envelope —
+``ts`` (wall-clock seconds from the injectable clock), ``level``
+(``debug``/``info``/``warn``/``error``), ``kind`` (the schema tag,
+e.g. ``train_step``, ``fault_fired``, ``span``) — followed by the
+event's own fields.  Records below the log's threshold are dropped
+before any serialisation work happens.
+
+The log always keeps an in-memory tail (bounded deque) so tests and
+the ``obs summarize`` command can inspect recent events without a
+file; pass ``path`` to additionally append every record to a JSONL
+file (opened in append mode, one flushed ``write()`` per record, so
+forked workers sharing the file interleave whole lines).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+__all__ = ["EventLog", "LEVELS", "read_events"]
+
+#: Level names to numeric thresholds (higher = more severe).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+def _level_no(level: Union[str, int]) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+        ) from None
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and other strays) to plain JSON."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class EventLog:
+    """Leveled, schema-tagged JSONL writer with a bounded memory tail."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        level: Union[str, int] = "info",
+        clock: Callable[[], float] = time.time,
+        keep: int = 2048,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.level = _level_no(level)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.records: Deque[Dict[str, Any]] = deque(maxlen=keep)
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def enabled_for(self, level: Union[str, int]) -> bool:
+        return _level_no(level) >= self.level
+
+    def emit(self, kind: str, level: Union[str, int] = "info", **fields: Any) -> None:
+        level_no = _level_no(level)
+        if level_no < self.level:
+            return
+        record: Dict[str, Any] = {
+            "ts": round(float(self._clock()), 6),
+            "level": next(
+                (k for k, v in LEVELS.items() if v == level_no), str(level_no)
+            ),
+            "kind": kind,
+        }
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, ensure_ascii=False)
+        with self._lock:
+            self.records.append(record)
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+
+    def tail(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Recent records (optionally filtered by ``kind``), oldest first."""
+        with self._lock:
+            records = list(self.records)
+        if kind is not None:
+            records = [r for r in records if r.get("kind") == kind]
+        return records
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Iterate the records of a JSONL event log, skipping torn lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record

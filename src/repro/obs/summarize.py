@@ -1,0 +1,111 @@
+"""Render a JSONL event log into the repo's ASCII tables style.
+
+Backs ``python -m repro obs summarize <events.jsonl>``: an events
+overview (count per kind × level, time range), a span table (count /
+total / p50 / p95 / p99 per span path), and — when present — a
+``fault_fired`` table keyed on the injector's ``(seed, site, key)``
+identity, so a chaos sweep's log reads at a glance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..utils.tables import format_table
+from .events import LEVELS, read_events
+from .metrics import nearest_rank_quantile
+
+__all__ = ["summarize_events", "summarize_records"]
+
+
+def summarize_records(
+    records: Iterable[Dict[str, Any]],
+    level: Optional[str] = None,
+    kind: Optional[str] = None,
+    title: str = "events",
+) -> str:
+    """Tables for an in-memory record stream (see module docstring)."""
+    threshold = LEVELS[level] if level is not None else 0
+    kinds: TallyCounter = TallyCounter()
+    spans: Dict[str, List[float]] = defaultdict(list)
+    faults: TallyCounter = TallyCounter()
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    total = 0
+
+    for rec in records:
+        rec_level = rec.get("level", "info")
+        if LEVELS.get(rec_level, 0) < threshold:
+            continue
+        rec_kind = str(rec.get("kind", "?"))
+        if kind is not None and rec_kind != kind:
+            continue
+        total += 1
+        ts = rec.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        kinds[(rec_kind, rec_level)] += 1
+        if rec_kind == "span" and isinstance(rec.get("seconds"), (int, float)):
+            spans[str(rec.get("span", "?"))].append(float(rec["seconds"]))
+        elif rec_kind == "fault_fired":
+            faults[
+                (str(rec.get("seed", "?")), str(rec.get("site", "?")), str(rec.get("key", "?")))
+            ] += 1
+
+    window = (
+        f"{last_ts - first_ts:.3f}s window" if first_ts is not None and total else "empty"
+    )
+    blocks: List[str] = [
+        format_table(
+            ["kind", "level", "count"],
+            [[k, lvl, kinds[(k, lvl)]] for k, lvl in sorted(kinds)],
+            title=f"{title} — {total} records, {window}",
+        )
+    ]
+    if spans:
+        rows = []
+        for path in sorted(spans):
+            samples = sorted(spans[path])
+            rows.append(
+                [
+                    path,
+                    len(samples),
+                    sum(samples),
+                    nearest_rank_quantile(samples, 0.5),
+                    nearest_rank_quantile(samples, 0.95),
+                    nearest_rank_quantile(samples, 0.99),
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["span", "count", "total_s", "p50_s", "p95_s", "p99_s"],
+                rows,
+                title="spans",
+                float_fmt="{:.6f}",
+            )
+        )
+    if faults:
+        blocks.append(
+            format_table(
+                ["seed", "site", "key", "fired"],
+                [[s, site, key, n] for (s, site, key), n in sorted(faults.items())],
+                title="fault_fired",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def summarize_events(
+    path: Union[str, Path],
+    level: Optional[str] = None,
+    kind: Optional[str] = None,
+) -> str:
+    """Tables for an on-disk JSONL log (the CLI entry point)."""
+    path = Path(path)
+    return summarize_records(
+        read_events(path), level=level, kind=kind, title=path.name
+    )

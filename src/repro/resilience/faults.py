@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..data.market import MarketData, unvalidated_market
+from ..obs import get_obs
 from ..utils.rng import make_rng, stable_hash
 from ..utils.serialization import PathLike
 
@@ -284,6 +285,21 @@ class FaultInjector:
     sleep: Callable[[float], None] = time.sleep
     record: List[Tuple[str, str]] = field(default_factory=list)
 
+    def _note(self, site: str, key: str) -> None:
+        """Record a fired fault (and mirror it to the obs event log).
+
+        The emitted ``fault_fired`` event carries the same
+        ``(seed, site, key)`` identity the deterministic draw used, so
+        an event log can be replayed against :attr:`record`.
+        """
+        self.record.append((site, key))
+        obs = get_obs()
+        if obs.enabled:
+            obs.event(
+                "fault_fired", level="warn",
+                seed=self.plan.seed, site=site, key=key,
+            )
+
     def _unit(self, site: str, key: str) -> float:
         return (
             stable_hash(f"{self.plan.seed}:{site}:{key}", modulus=2 ** 30)
@@ -295,7 +311,7 @@ class FaultInjector:
             return False
         fired = rate >= 1.0 or self._unit(site, key) < rate
         if fired:
-            self.record.append((site, key))
+            self._note(site, key)
         return fired
 
     # -- sweep seam ----------------------------------------------------
@@ -310,10 +326,10 @@ class FaultInjector:
         """
         sweep = self.plan.sweep
         if position in sweep.broken_shards:
-            self.record.append(("sweep.broken", f"{shard_id}:{attempt}"))
+            self._note("sweep.broken", f"{shard_id}:{attempt}")
             return "broken"
         if position in sweep.crash_shards and attempt == 0:
-            self.record.append(("sweep.crash", f"{shard_id}:{attempt}"))
+            self._note("sweep.crash", f"{shard_id}:{attempt}")
             return "crash"
         if attempt < sweep.transient_attempts and self.fires(
             "sweep.transient", f"{shard_id}:{attempt}", sweep.transient_rate
@@ -347,7 +363,7 @@ class FaultInjector:
         """
         serving = self.plan.serving
         if (int(worker), int(batch_id)) in serving.worker_crash_batches:
-            self.record.append(("serving.worker_crash", f"{worker}:{batch_id}"))
+            self._note("serving.worker_crash", f"{worker}:{batch_id}")
             return True
         return self.fires(
             "serving.worker_crash", f"{worker}:{batch_id}",

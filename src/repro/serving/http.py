@@ -8,10 +8,12 @@ network forward.
 
 Routes
 ------
-``GET  /healthz``            liveness + stats
+``GET  /healthz``            liveness + uptime + version + stats
 ``GET  /health``             liveness + stats + backpressure/degradation detail
                              (per-worker status when serving a supervisor)
 ``GET  /stats``              service/supervisor counters (failovers, shedding)
+``GET  /metrics``            Prometheus text: obs registry series plus every
+                             scalar service/supervisor counter as a gauge
 ``GET  /strategies``         names servable through the registry
 ``GET  /sessions``           live session descriptions
 ``POST /sessions``           ``{"session_id", "strategy", "params"?, "market"}``
@@ -36,9 +38,12 @@ supervisor (:class:`~repro.serving.Draining`) a 503.  Start one with
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
+from .. import __version__
+from ..obs import Obs, get_obs, render_prometheus
 from .service import (
     DeadlineExceeded,
     InvalidStrategyOutput,
@@ -84,6 +89,39 @@ class ServiceHTTPServer(ThreadingHTTPServer):
             else None
         )
         self.quiet = quiet
+        self.started = time.monotonic()
+        # /metrics needs a live registry even when the backend runs
+        # dark: prefer the backend's handle (one registry, one page),
+        # then the process-global one, else a private front-only Obs.
+        backend_obs = getattr(service, "obs", None)
+        if backend_obs is not None and backend_obs.enabled:
+            self.obs = backend_obs
+        else:
+            global_obs = get_obs()
+            self.obs = global_obs if global_obs.enabled else Obs()
+
+    def uptime_seconds(self) -> float:
+        """Prefer the backend's construction anchor (it predates the
+        front and survives re-binds); fall back to the server's own."""
+        backend = getattr(self.service, "uptime_seconds", None)
+        if callable(backend):
+            return backend()
+        return time.monotonic() - self.started
+
+
+def _flatten_scalars(prefix: str, value: Any, out: Dict[str, float]) -> None:
+    """Collect numeric leaves of a nested stats dict as ``a_b_c`` keys.
+
+    Lists (worker detail, failover reports) are skipped — they carry
+    unbounded per-incident detail, not counters."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            sub = f"{prefix}_{key}" if prefix else str(key)
+            _flatten_scalars(sub, item, out)
 
 
 class ServingHandler(BaseHTTPRequestHandler):
@@ -93,8 +131,35 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Request logs used to vanish under quiet=True; now every line
+        # lands in the structured event log at debug level (dropped
+        # there only if the log's threshold says so), and stderr output
+        # remains opt-in via quiet=False.
+        obs = getattr(self.server, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.event(
+                "http_log",
+                level="debug",
+                client=self.address_string(),
+                message=format % args,
+            )
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
+
+    def _route(self) -> str:
+        """The path normalised for metric labels: known routes pass
+        through, anything else (unknown paths, future id-suffixed
+        routes) collapses to its first segment + ``/*`` so label
+        cardinality stays bounded."""
+        path = self.path.split("?", 1)[0]
+        known = {
+            "/healthz", "/health", "/stats", "/metrics", "/strategies",
+            "/sessions", "/rebalance", "/rebalance/batch",
+        }
+        if path in known:
+            return path
+        head = path.split("/", 2)[1] if path.startswith("/") else path
+        return f"/{head}/*"
 
     def _write_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -115,8 +180,60 @@ class ServingHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._write_json(status, {"error": message})
 
+    def _write_metrics(self) -> None:
+        """``GET /metrics``: Prometheus text exposition.
+
+        The page is the obs registry's render, with every scalar from
+        the backend's stats mirrored in as ``repro_stats_*`` gauges
+        first — so failover/shed/degraded counters are always present
+        even when the backend itself runs with observability off.
+        """
+        service = self.server.service
+        obs = self.server.obs
+        if hasattr(service, "stats_dict"):
+            stats: Dict[str, Any] = service.stats_dict()
+        else:
+            stats = {"service": service.stats.to_json_dict()}
+            batcher = self.server.batcher
+            if batcher is not None:
+                stats["batcher"] = batcher.stats.to_json_dict()
+        flat: Dict[str, float] = {}
+        _flatten_scalars("", stats, flat)
+        for key in sorted(flat):
+            obs.gauge(
+                f"repro_stats_{key}", help="mirrored backend stats scalar"
+            ).set(flat[key])
+        obs.gauge(
+            "repro_uptime_seconds", help="seconds since backend construction"
+        ).set(self.server.uptime_seconds())
+        body = render_prometheus(obs.metrics).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _observe_request(self, method: str, t0: float) -> None:
+        obs = self.server.obs
+        route = self._route()
+        obs.counter(
+            "repro_http_requests_total",
+            help="HTTP requests by route",
+            route=route,
+            method=method,
+        ).inc()
+        obs.histogram(
+            "repro_http_request_seconds",
+            help="HTTP request wall-clock by route",
+            route=route,
+            method=method,
+        ).observe(time.perf_counter() - t0)
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802
+        t0 = time.perf_counter()
         try:
             self._do_get()
         except (KeyError, ValueError) as exc:
@@ -124,6 +241,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._error(400, str(message))
         except Exception as exc:
             self._error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._observe_request("GET", t0)
 
     def _do_get(self) -> None:
         service = self.server.service
@@ -133,6 +252,8 @@ class ServingHandler(BaseHTTPRequestHandler):
                 {
                     "status": "ok",
                     "sessions": len(service.session_ids()),
+                    "uptime_seconds": self.server.uptime_seconds(),
+                    "version": __version__,
                     "stats": service.stats.to_json_dict(),
                 },
             )
@@ -146,6 +267,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             payload: Dict[str, Any] = {
                 "status": "ok",
                 "sessions": len(service.session_ids()),
+                "uptime_seconds": self.server.uptime_seconds(),
+                "version": __version__,
                 "stats": service.stats.to_json_dict(),
                 "batcher": (
                     batcher.stats.to_json_dict()
@@ -171,20 +294,22 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._write_json(200, payload)
         elif self.path == "/stats":
             if hasattr(service, "stats_dict"):
-                self._write_json(200, service.stats_dict())
+                payload = dict(service.stats_dict())
             else:
                 batcher = self.server.batcher
-                self._write_json(
-                    200,
-                    {
-                        "service": service.stats.to_json_dict(),
-                        "batcher": (
-                            batcher.stats.to_json_dict()
-                            if batcher is not None
-                            else None
-                        ),
-                    },
-                )
+                payload = {
+                    "service": service.stats.to_json_dict(),
+                    "batcher": (
+                        batcher.stats.to_json_dict()
+                        if batcher is not None
+                        else None
+                    ),
+                }
+            payload["uptime_seconds"] = self.server.uptime_seconds()
+            payload["version"] = __version__
+            self._write_json(200, payload)
+        elif self.path == "/metrics":
+            self._write_metrics()
         elif self.path == "/strategies":
             self._write_json(200, {"strategies": list(service.registry.names())})
         elif self.path == "/sessions":
@@ -201,6 +326,13 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
+        t0 = time.perf_counter()
+        try:
+            self._do_post()
+        finally:
+            self._observe_request("POST", t0)
+
+    def _do_post(self) -> None:
         try:
             payload = self._read_json()
         except (ValueError, json.JSONDecodeError) as exc:
@@ -286,10 +418,12 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     def _rebalance(self, payload: Dict[str, Any]) -> None:
         request = self._parse_request(payload)
+        t0 = time.perf_counter()
         if self.server.batcher is not None:
             response = self.server.batcher.submit(request)
         else:
             response = self.server.service.rebalance(request)
+        self._observe_rebalance(t0)
         self._write_json(200, response.to_json_dict())
 
     def _rebalance_batch(self, payload: Dict[str, Any]) -> None:
@@ -297,10 +431,22 @@ class ServingHandler(BaseHTTPRequestHandler):
         if not isinstance(raw, list) or not raw:
             raise ValueError("'requests' must be a non-empty list")
         requests = [self._parse_request(item) for item in raw]
+        t0 = time.perf_counter()
         responses = self.server.service.rebalance_many(requests)
+        self._observe_rebalance(t0)
         self._write_json(
             200, {"responses": [r.to_json_dict() for r in responses]}
         )
+
+    def _observe_rebalance(self, t0: float) -> None:
+        # Observed into the front's obs unconditionally so the
+        # acceptance-critical rebalance latency summary is on /metrics
+        # even when the backend runs dark.
+        self.server.obs.histogram(
+            "repro_rebalance_latency_seconds",
+            help="rebalance_many wall-clock per call",
+            component="http",
+        ).observe(time.perf_counter() - t0)
 
 
 def serve(

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..agents.base import Agent, concat_states
 from ..autograd import no_grad
+from ..obs import get_obs
 from ..data.market import MarketData, market_from_state, market_to_state
 from ..envs.costs import (
     DEFAULT_COMMISSION,
@@ -392,6 +393,7 @@ class PortfolioService:
         risk=None,
         resilience: Optional[ServingResilience] = None,
         faults=None,
+        obs=None,
     ):
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.commission = float(commission)
@@ -418,6 +420,33 @@ class PortfolioService:
         self._shared_agents: Dict[str, Agent] = {}
         self._private_seq = 0  # stable unique keys for unshared agents
         self._lock = threading.RLock()
+        self._started = time.monotonic()
+        self._obs = obs if obs is not None else get_obs()
+        if self._obs.enabled:
+            self._m_latency = self._obs.histogram(
+                "repro_rebalance_latency_seconds",
+                help="rebalance_many wall-clock per call",
+                component="service",
+            )
+            self._m_requests = self._obs.counter(
+                "repro_requests_total", help="rebalance requests served"
+            )
+            self._m_degraded = self._obs.counter(
+                "repro_degraded_responses_total",
+                help="circuit-broken hold responses",
+            )
+            self._m_breaker = self._obs.counter(
+                "repro_breaker_trips_total", help="session breaker trips"
+            )
+
+    @property
+    def obs(self):
+        """The observability handle this service records into."""
+        return self._obs
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this service instance was constructed."""
+        return time.monotonic() - self._started
 
     @property
     def execution(self):
@@ -760,9 +789,17 @@ class PortfolioService:
         """
         if not requests:
             return []
+        obs_on = self._obs.enabled
+        if obs_on:
+            t0 = time.perf_counter()
         if self._resilience is None:
-            return self._rebalance_transactional(requests)
-        return self._rebalance_resilient(requests)
+            responses = self._rebalance_transactional(requests)
+        else:
+            responses = self._rebalance_resilient(requests)
+        if obs_on:
+            self._m_latency.observe(time.perf_counter() - t0)
+            self._m_requests.inc(len(requests))
+        return responses
 
     def _rebalance_resilient(
         self, requests: Sequence[RebalanceRequest]
@@ -847,6 +884,14 @@ class PortfolioService:
             session.breaker_cooldown -= 1
         self.stats.requests_served += 1
         self.stats.degraded_responses += 1
+        if self._obs.enabled:
+            self._m_degraded.inc()
+            self._obs.event(
+                "serving_degraded",
+                level="warn",
+                session=session.session_id,
+                t=t,
+            )
         return RebalanceResponse(
             session_id=session.session_id,
             t=t,
@@ -871,6 +916,14 @@ class PortfolioService:
             # while a success resets the counter to zero.
             session.breaker_failures = self._resilience.failure_threshold - 1
             self.stats.breaker_trips += 1
+            if self._obs.enabled:
+                self._m_breaker.inc()
+                self._obs.event(
+                    "breaker_trip",
+                    level="warn",
+                    session=session.session_id,
+                    cooldown=session.breaker_cooldown,
+                )
 
     def _rebalance_transactional(
         self, requests: Sequence[RebalanceRequest]
@@ -1615,6 +1668,22 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._pending: List[Tuple[RebalanceRequest, _Slot]] = []
         self._leader_active = False
+        # Share the service's obs handle so batcher series land in the
+        # same registry (and the same /metrics page).
+        svc_obs = getattr(service, "obs", None)
+        self._obs = svc_obs if svc_obs is not None else get_obs()
+        if self._obs.enabled:
+            self._m_depth = self._obs.gauge(
+                "repro_batcher_queue_depth", help="pending requests in queue"
+            )
+            self._m_rejections = self._obs.counter(
+                "repro_batcher_rejections_total",
+                help="requests shed at admission (QueueFull)",
+            )
+            self._m_expirations = self._obs.counter(
+                "repro_batcher_deadline_expirations_total",
+                help="requests expired waiting in queue",
+            )
 
     def submit(self, request: RebalanceRequest) -> RebalanceResponse:
         """Enqueue ``request`` and block until its decision is served.
@@ -1635,6 +1704,14 @@ class MicroBatcher:
                 and len(self._pending) >= self.max_queue
             ):
                 self.stats.queue_rejections += 1
+                if self._obs.enabled:
+                    self._m_rejections.inc()
+                    self._obs.event(
+                        "batcher_shed",
+                        level="warn",
+                        pending=len(self._pending),
+                        max_queue=self.max_queue,
+                    )
                 raise QueueFull(
                     f"admission queue full ({len(self._pending)} pending, "
                     f"max_queue={self.max_queue})"
@@ -1644,6 +1721,8 @@ class MicroBatcher:
             self.stats.max_queue_depth = max(
                 self.stats.max_queue_depth, len(self._pending)
             )
+            if self._obs.enabled:
+                self._m_depth.set(len(self._pending))
             self._cond.notify_all()
         deadline = (
             None
@@ -1671,6 +1750,9 @@ class MicroBatcher:
                             break
                     if withdrawn:
                         self.stats.deadline_expirations += 1
+                        if self._obs.enabled:
+                            self._m_expirations.inc()
+                            self._m_depth.set(len(self._pending))
                         raise DeadlineExceeded(
                             f"request for session "
                             f"{request.session_id!r} spent more than "
@@ -1703,18 +1785,19 @@ class MicroBatcher:
         # slot id -> (response, error); filled in as outcomes commit.
         outcomes: Dict[int, Tuple[Optional[RebalanceResponse], Optional[BaseException]]] = {}
         try:
-            try:
-                responses = self.service.rebalance_many(
-                    [req for req, _ in batch]
-                )
-                for (_, s), resp in zip(batch, responses):
-                    outcomes[id(s)] = (resp, None)
-            except Exception:
-                for req, s in batch:
-                    try:
-                        outcomes[id(s)] = (self.service.rebalance(req), None)
-                    except Exception as exc:
-                        outcomes[id(s)] = (None, exc)
+            with self._obs.span("batcher.flush", size=len(batch)):
+                try:
+                    responses = self.service.rebalance_many(
+                        [req for req, _ in batch]
+                    )
+                    for (_, s), resp in zip(batch, responses):
+                        outcomes[id(s)] = (resp, None)
+                except Exception:
+                    for req, s in batch:
+                        try:
+                            outcomes[id(s)] = (self.service.rebalance(req), None)
+                        except Exception as exc:
+                            outcomes[id(s)] = (None, exc)
         except BaseException as exc:
             # KeyboardInterrupt/SystemExit: report committed slots
             # accurately, fail only the undone ones, then propagate.
@@ -1742,4 +1825,6 @@ class MicroBatcher:
             self._cond.wait(remaining)
         batch = self._pending[: self.max_batch]
         self._pending = self._pending[self.max_batch :]
+        if self._obs.enabled:
+            self._m_depth.set(len(self._pending))
         return batch

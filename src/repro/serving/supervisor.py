@@ -68,6 +68,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..envs.costs import DEFAULT_COMMISSION
+from ..obs import get_obs
 from ..registry import DEFAULT_REGISTRY
 from ..resilience import injector_from
 from ..utils.rng import stable_hash
@@ -448,6 +449,7 @@ class ServingSupervisor:
         heartbeat_interval: float = 1.0,
         worker_timeout: Optional[float] = None,
         crash_retries: int = 3,
+        obs=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -464,6 +466,35 @@ class ServingSupervisor:
         self.crash_retries = int(crash_retries)
         self.heartbeat_interval = float(heartbeat_interval)
         self.stats = SupervisorStats()
+        self._started = time.monotonic()
+        self._obs = obs if obs is not None else get_obs()
+        if self._obs.enabled:
+            self._m_dispatch = self._obs.histogram(
+                "repro_rebalance_latency_seconds",
+                help="rebalance_many wall-clock per call",
+                component="supervisor",
+            )
+            self._m_requests = self._obs.counter(
+                "repro_requests_total", help="rebalance requests served"
+            )
+            self._m_inflight = self._obs.gauge(
+                "repro_supervisor_inflight", help="front in-flight requests"
+            )
+            self._m_shed = self._obs.counter(
+                "repro_shed_requests_total",
+                help="requests shed by priority admission",
+            )
+            self._m_restarts = self._obs.counter(
+                "repro_worker_restarts_total", help="worker crashes healed"
+            )
+            self._m_failovers = self._obs.counter(
+                "repro_failovers_total",
+                help="restarts that also replayed a batch",
+            )
+            self._m_retries = self._obs.counter(
+                "repro_dispatch_retries_total",
+                help="sub-batch replays after a worker crash",
+            )
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
@@ -564,6 +595,14 @@ class ServingSupervisor:
         worker.spawn()
         worker.restarts += 1
         self.stats.worker_restarts += 1
+        if self._obs.enabled:
+            self._m_restarts.inc()
+            self._obs.event(
+                "worker_restart",
+                level="warn",
+                worker=worker.index,
+                restarts=worker.restarts,
+            )
 
     def _note_failover(
         self, worker: _Worker, requests: Sequence[RebalanceRequest]
@@ -580,6 +619,15 @@ class ServingSupervisor:
             )
         self._restart(worker)
         self.stats.failovers += 1
+        if self._obs.enabled:
+            self._m_failovers.inc()
+            self._obs.event(
+                "failover",
+                level="warn",
+                worker=worker.index,
+                replayed_requests=len(requests),
+                sessions=len(affected),
+            )
         report = {
             "worker": worker.index,
             "restart": worker.restarts,
@@ -745,6 +793,9 @@ class ServingSupervisor:
         """
         if not requests:
             return []
+        obs_on = self._obs.enabled
+        if obs_on:
+            t0 = time.perf_counter()
         token = self._admit(requests)
         try:
             by_worker: Dict[int, List[Tuple[int, RebalanceRequest]]] = {}
@@ -785,6 +836,9 @@ class ServingSupervisor:
             if errors:
                 raise errors[0]
             self.stats.requests_served += len(requests)
+            if obs_on:
+                self._m_dispatch.observe(time.perf_counter() - t0)
+                self._m_requests.inc(len(requests))
             return responses  # type: ignore[return-value]
         finally:
             self._release(token)
@@ -793,18 +847,30 @@ class ServingSupervisor:
         self, worker: _Worker, requests: List[RebalanceRequest]
     ) -> List[RebalanceResponse]:
         """One sub-batch conversation, with crash failover + replay."""
+        obs_on = self._obs.enabled
         with worker.lock:
             attempts = 0
             while True:
                 batch_id = worker.next_batch_id()
                 self.stats.batches_dispatched += 1
                 try:
-                    return worker.request(
+                    if obs_on:
+                        t0 = time.perf_counter()
+                    served = worker.request(
                         ("rebalance", batch_id, list(requests)),
                         timeout=self.worker_timeout,
                     )
+                    if obs_on:
+                        self._obs.histogram(
+                            "repro_worker_dispatch_seconds",
+                            help="per-worker sub-batch round-trip",
+                            worker=str(worker.index),
+                        ).observe(time.perf_counter() - t0)
+                    return served
                 except WorkerDied:
                     attempts += 1
+                    if obs_on:
+                        self._m_retries.inc()
                     self._note_failover(worker, requests)
                     if attempts >= self.crash_retries:
                         raise RuntimeError(
@@ -835,6 +901,15 @@ class ServingSupervisor:
                 # front always admits — even an oversized batch — so
                 # shedding can never deadlock the system.)
                 self.stats.shed_requests += count
+                if self._obs.enabled:
+                    self._m_shed.inc(count)
+                    self._obs.event(
+                        "load_shed",
+                        level="warn",
+                        count=count,
+                        priority=priority,
+                        inflight=self._inflight,
+                    )
                 raise LoadShed(
                     f"supervisor front at capacity ({self._inflight} "
                     f"requests in flight, max_pending={self.max_pending}); "
@@ -843,6 +918,8 @@ class ServingSupervisor:
                 )
             self._inflight += count
             self._inflight_priorities.append(priority)
+            if self._obs.enabled:
+                self._m_inflight.set(self._inflight)
             return (count, priority)
 
     def _release(self, token: Tuple[int, int]) -> None:
@@ -850,12 +927,23 @@ class ServingSupervisor:
         with self._cond:
             self._inflight -= count
             self._inflight_priorities.remove(priority)
+            if self._obs.enabled:
+                self._m_inflight.set(self._inflight)
             self._cond.notify_all()
 
     @property
     def inflight(self) -> int:
         with self._cond:
             return self._inflight
+
+    @property
+    def obs(self):
+        """The observability handle this supervisor records into."""
+        return self._obs
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this supervisor was constructed."""
+        return time.monotonic() - self._started
 
     # -- observability -------------------------------------------------
     def worker_health(self) -> List[WorkerHealth]:
